@@ -1,0 +1,39 @@
+// Shared glue for the experiment-table binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_support/runner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace topkmon::bench {
+
+/// Common CLI: --trials, --steps, --seed, --csv (emit CSV after the table).
+struct BenchArgs {
+  std::size_t trials = 5;
+  TimeStep steps = 600;
+  std::uint64_t seed = 42;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    Flags flags(argc, argv);
+    BenchArgs a;
+    a.trials = flags.get_uint("trials", a.trials);
+    a.steps = static_cast<TimeStep>(flags.get_uint("steps", a.steps));
+    a.seed = flags.get_uint("seed", a.seed);
+    a.csv = flags.get_bool("csv", false);
+    return a;
+  }
+};
+
+inline void emit(const Table& table, const BenchArgs& args) {
+  std::cout << table.to_ascii() << "\n";
+  if (args.csv) {
+    std::cout << table.to_csv() << "\n";
+  }
+}
+
+}  // namespace topkmon::bench

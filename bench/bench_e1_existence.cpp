@@ -1,0 +1,49 @@
+// E1 — Lemma 3.1: the EXISTENCE protocol decides a distributed disjunction
+// with O(1) messages in expectation (paper bound: <= 6) and at most
+// ceil(log2 n) + 1 rounds, for every n and every number b of ones.
+//
+// Table 1 reports, per (n, b): mean messages, p99 messages, mean rounds,
+// max rounds, and the round budget. The "who wins" shape to check: the
+// message column is flat in both n and b; a naive "everyone reports"
+// protocol would pay b.
+#include "bench_common.hpp"
+#include "protocols/existence.hpp"
+#include "util/rng.hpp"
+#include "util/summary.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::size_t trials = args.trials * 2000;  // cheap; sharpen the mean
+
+  Table table("E1 / Table 1 — EXISTENCE (Lemma 3.1): expected messages are constant");
+  table.header({"n", "b (ones)", "mean msgs", "p99 msgs", "bound", "mean rounds",
+                "max rounds", "round budget"});
+
+  Rng rng(args.seed);
+  for (const std::size_t n : {16u, 256u, 4096u, 65536u}) {
+    std::size_t prev_b = 0;
+    for (const std::size_t b :
+         {std::size_t{1}, std::size_t{8}, n / 16, n / 2, n}) {
+      if (b == 0 || b > n || b == prev_b) continue;
+      prev_b = b;
+      std::vector<bool> bits(n, false);
+      for (std::size_t i = 0; i < b; ++i) bits[i] = true;
+      SampleSet msgs, rounds;
+      for (std::size_t t = 0; t < trials / 4; ++t) {
+        const auto res = ExistenceProtocol::run(bits, rng);
+        msgs.add(static_cast<double>(res.messages));
+        rounds.add(static_cast<double>(res.rounds));
+      }
+      table.add_row({std::to_string(n), std::to_string(b),
+                     format_double(msgs.mean(), 3), format_double(msgs.quantile(0.99), 1),
+                     "6", format_double(rounds.mean(), 2),
+                     format_double(rounds.max(), 0),
+                     std::to_string(ExistenceProtocol::max_rounds(n))});
+    }
+  }
+  bench::emit(table, args);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E2 — Lemma 2.6: the threshold-sampling maximum protocol uses O(log n)
+// messages in expectation; the top-(k+1) probe used by every monitor costs
+// O(k log n).
+//
+// Table 2a sweeps n for the single-maximum protocol (mean messages vs
+// log2 n — the ratio column must stay ~constant). Table 2b sweeps k for the
+// probe at fixed n (messages per probed rank must stay ~constant).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "protocols/sampling.hpp"
+#include "util/summary.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  Rng rng(args.seed);
+  const std::size_t trials = 400 * args.trials;
+
+  Table t1("E2a / Table 2a — max-value protocol (Lemma 2.6): messages ~ c·log2 n");
+  t1.header({"n", "mean msgs", "p99 msgs", "log2 n", "msgs/log2 n"});
+  for (const std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    SampleSet msgs;
+    for (std::size_t t = 0; t < trials / 10; ++t) {
+      std::vector<Value> values(n);
+      for (auto& v : values) v = rng.next_u64() >> 16;
+      const auto out = sample_max_standalone(values, rng);
+      msgs.add(static_cast<double>(out.messages));
+    }
+    const double lg = std::log2(static_cast<double>(n));
+    t1.add_row({std::to_string(n), format_double(msgs.mean(), 2),
+                format_double(msgs.quantile(0.99), 1), format_double(lg, 1),
+                format_double(msgs.mean() / lg, 3)});
+  }
+  bench::emit(t1, args);
+
+  Table t2("E2b / Table 2b — top-(k+1) probe: messages ~ c·(k+1)·log2 n (n = 1024)");
+  t2.header({"k", "mean msgs", "msgs/(k+1)", "msgs/((k+1)·log2 n)"});
+  const std::size_t n = 1024;
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    SampleSet msgs;
+    for (std::size_t t = 0; t < trials / 40; ++t) {
+      std::vector<Value> values(n);
+      for (auto& v : values) v = rng.next_u64() >> 16;
+      const auto out = probe_top_standalone(values, k + 1, rng);
+      msgs.add(static_cast<double>(out.messages));
+    }
+    const double per_rank = msgs.mean() / static_cast<double>(k + 1);
+    t2.add_row({std::to_string(k), format_double(msgs.mean(), 1),
+                format_double(per_rank, 2),
+                format_double(per_rank / std::log2(static_cast<double>(n)), 3)});
+  }
+  bench::emit(t2, args);
+  return 0;
+}

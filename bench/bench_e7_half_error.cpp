@@ -1,0 +1,52 @@
+// E7 — Corollary 5.9: when the offline optimum is restricted to error
+// ε′ ≤ ε/2, the half-error monitor achieves O(σ + k log n + log log Δ +
+// log 1/ε) — linear in σ where Theorem 5.8's bound is quadratic.
+//
+// Table 7 runs the same dense workloads as E6 and reports, per σ, the
+// half-error monitor's ratio vs OPT(ε/2) next to the combined monitor's
+// ratio vs OPT(ε). The shape to check: half_error's column grows ~σ while
+// combined's grows faster (up to σ²) — and the crossover in absolute
+// message counts favors half_error as σ rises.
+#include "bench_common.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  Table t("E7 / Table 7 — half-error (vs OPT(ε/2)) against combined (vs OPT(ε)): "
+          "σ sweep (k=4, ε=0.2, oscillating)");
+  t.header({"σ", "half msgs", "half ratio", "combined msgs", "combined ratio",
+            "σ ref", "σ² ref"});
+
+  for (const std::size_t sigma : {4u, 8u, 16u, 32u}) {
+    auto make_cfg = [&](const char* protocol, double opt_eps) {
+      ExperimentConfig cfg;
+      cfg.stream.kind = "oscillating";
+      cfg.stream.n = 2 * sigma + 8;
+      cfg.stream.sigma = sigma;
+      cfg.stream.delta = Value{1} << 19;
+      cfg.stream.drift = 0.02;
+      cfg.protocol = protocol;
+      cfg.k = 4;
+      cfg.epsilon = 0.2;
+      cfg.steps = args.steps;
+      cfg.trials = args.trials;
+      cfg.seed = args.seed;
+      cfg.opt_kind = OptKind::kApprox;
+      cfg.opt_epsilon = opt_eps;
+      return cfg;
+    };
+    const auto half = run_experiment(make_cfg("half_error", 0.1));   // ε/2
+    const auto comb = run_experiment(make_cfg("combined", 0.2));     // ε
+    t.add_row({std::to_string(sigma), format_double(half.messages.mean(), 0),
+               format_double(half.ratio.mean(), 1),
+               format_double(comb.messages.mean(), 0),
+               format_double(comb.ratio.mean(), 1),
+               format_double(static_cast<double>(sigma), 0),
+               format_double(static_cast<double>(sigma * sigma), 0)});
+  }
+  bench::emit(t, args);
+  return 0;
+}

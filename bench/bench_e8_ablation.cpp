@@ -1,0 +1,121 @@
+// E8 — design ablations (the choices DESIGN.md calls out):
+//
+//  (a) EXISTENCE-mediated violation reporting vs direct reporting when many
+//      nodes violate simultaneously (the Corollary 3.2 batching): simulate
+//      b simultaneous one-bit reports and compare message counts.
+//  (b) interval-shrinking strategy in the witnessing game: the four-phase
+//      TOP-K-PROTOCOL (doubly-exponential + geometric + midpoint) vs the
+//      midpoint-only exact monitor, both driven by the phase-torture
+//      climber: log log Δ vs log Δ violations per phase.
+//  (c) broadcast filter redistribution vs per-node unicasts: cost model
+//      comparison for one round update over n nodes.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "protocols/existence.hpp"
+#include "protocols/registry.hpp"
+#include "protocols/sampling.hpp"
+#include "sim/simulator.hpp"
+#include "streams/phase_torture.hpp"
+#include "util/assert.hpp"
+#include "util/summary.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  Rng rng(args.seed);
+
+  {
+    Table t("E8a — EXISTENCE batching vs direct reporting of b simultaneous "
+            "violations (n=4096)");
+    t.header({"b (violators)", "existence msgs (mean)", "direct msgs", "saving x"});
+    const std::size_t n = 4096;
+    for (const std::size_t b : {1u, 16u, 256u, 2048u, 4096u}) {
+      std::vector<bool> bits(n, false);
+      for (std::size_t i = 0; i < b; ++i) bits[i] = true;
+      SampleSet msgs;
+      for (int rep = 0; rep < 2000; ++rep) {
+        msgs.add(static_cast<double>(ExistenceProtocol::run(bits, rng).messages));
+      }
+      t.add_row({std::to_string(b), format_double(msgs.mean(), 2), std::to_string(b),
+                 format_double(static_cast<double>(b) / msgs.mean(), 1)});
+    }
+    bench::emit(t, args);
+  }
+
+  {
+    Table t("E8b — interval strategy ablation on phase-torture: four-phase "
+            "(TOP-K-PROTOCOL) vs midpoint-only (exact monitor), msgs per "
+            "climb→cross macro-phase");
+    t.header({"log2 Δ", "four-phase msgs/phase", "midpoint msgs/phase",
+              "log2 log2 Δ", "log2 Δ"});
+    for (const int log_delta : {12, 20, 28, 36, 44}) {
+      auto per_phase = [&](const char* protocol, double eps) {
+        PhaseTortureConfig torture;
+        torture.n = 8;
+        torture.k = 2;
+        torture.top = Value{1} << log_delta;
+        auto stream = std::make_unique<PhaseTortureStream>(torture);
+        auto* adv = stream.get();
+        SimConfig cfg;
+        cfg.k = 2;
+        cfg.epsilon = eps;
+        cfg.seed = args.seed;
+        Simulator sim(cfg, std::move(stream), make_protocol(protocol));
+        TimeStep step_count = 0;
+        while (adv->macro_phases() < 8 && step_count < 100000) {
+          sim.step();
+          ++step_count;
+        }
+        return static_cast<double>(sim.result().messages) /
+               static_cast<double>(std::max<std::uint64_t>(1, adv->macro_phases()));
+      };
+      const double four_phase = per_phase("topk_protocol", 0.2);
+      const double midpoint = per_phase("exact_topk", 0.0);
+      t.add_row({std::to_string(log_delta), format_double(four_phase, 1),
+                 format_double(midpoint, 1),
+                 format_double(std::log2(static_cast<double>(log_delta)), 2),
+                 std::to_string(log_delta)});
+    }
+    bench::emit(t, args);
+  }
+
+  {
+    Table t("E8c — filter redistribution: broadcast rule vs per-node unicasts "
+            "(one round update)");
+    t.header({"n", "broadcast msgs", "unicast msgs"});
+    for (const std::size_t n : {16u, 256u, 4096u, 65536u}) {
+      t.add_row({std::to_string(n), "1", std::to_string(n)});
+    }
+    bench::emit(t, args);
+  }
+
+  {
+    Table t("E8d — max-finding ablation: Lemma 2.6 sampling (O(log n)) vs "
+            "value-domain bisection (O(log Δ)), n=256");
+    t.header({"log2 Δ", "sampling msgs", "bisection msgs", "log2 n", "log2 Δ"});
+    const std::size_t n = 256;
+    for (const int log_delta : {10, 16, 24, 32, 40}) {
+      const Value delta = Value{1} << log_delta;
+      SampleSet sampling, bisection;
+      for (int trial = 0; trial < 300; ++trial) {
+        std::vector<Value> values(n);
+        for (auto& v : values) v = rng.below(delta + 1);
+        Rng r1 = Rng::derive(args.seed, trial);
+        Rng r2 = Rng::derive(args.seed, trial);
+        const auto s = sample_max_standalone(values, r1);
+        const auto b = bisect_max_standalone(values, delta, r2);
+        TOPKMON_ASSERT(s.id == b.id);
+        sampling.add(static_cast<double>(s.messages));
+        bisection.add(static_cast<double>(b.messages));
+      }
+      t.add_row({std::to_string(log_delta), format_double(sampling.mean(), 1),
+                 format_double(bisection.mean(), 1), "8",
+                 std::to_string(log_delta)});
+    }
+    bench::emit(t, args);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E10 — google-benchmark micro suite: simulator throughput and the CPU
+// cost of the protocol primitives. These are engineering numbers (steps/s),
+// not paper claims; message counts are attached as counters so regressions
+// in *communication* are also visible here.
+#include <benchmark/benchmark.h>
+
+#include "offline/opt.hpp"
+#include "protocols/existence.hpp"
+#include "protocols/registry.hpp"
+#include "protocols/sampling.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+
+namespace topkmon {
+namespace {
+
+void BM_ExistenceProtocol(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<bool> bits(n, false);
+  for (std::size_t i = 0; i < n / 4 + 1; ++i) bits[i] = true;
+  Rng rng(42);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto res = ExistenceProtocol::run(bits, rng);
+    messages += res.messages;
+    benchmark::DoNotOptimize(res.any);
+  }
+  state.counters["msgs/op"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ExistenceProtocol)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SampleMax(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(43);
+  std::vector<Value> values(n);
+  for (auto& v : values) v = rng.next_u64() >> 16;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto out = sample_max_standalone(values, rng);
+    messages += out.messages;
+    benchmark::DoNotOptimize(out.id);
+  }
+  state.counters["msgs/op"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SampleMax)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  StreamSpec spec;
+  spec.kind = "random_walk";
+  spec.n = n;
+  spec.k = 4;
+  spec.delta = 1 << 16;
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.epsilon = 0.15;
+  cfg.seed = 44;
+  Simulator sim(cfg, make_stream(spec), make_protocol("combined"));
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.counters["msgs/step"] = benchmark::Counter(
+      static_cast<double>(sim.result().messages), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorStep)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_DenseChurnStep(benchmark::State& state) {
+  StreamSpec spec;
+  spec.kind = "oscillating";
+  spec.n = static_cast<std::size_t>(state.range(0));
+  spec.k = 4;
+  spec.sigma = spec.n / 2;
+  spec.epsilon = 0.15;
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.epsilon = 0.15;
+  cfg.seed = 45;
+  Simulator sim(cfg, make_stream(spec), make_protocol("combined"));
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseChurnStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OfflineOptApprox(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(46);
+  std::vector<ValueVector> history;
+  ValueVector v(n);
+  for (auto& x : v) x = 1000 + rng.below(1000);
+  for (int t = 0; t < 256; ++t) {
+    for (auto& x : v) {
+      const auto step = rng.below(32);
+      x = (rng.bernoulli(0.5) && x > step) ? x - step : x + step;
+    }
+    history.push_back(v);
+  }
+  for (auto _ : state) {
+    const auto r = OfflineOpt::approx(history, 4, 0.15);
+    benchmark::DoNotOptimize(r.phases);
+  }
+}
+BENCHMARK(BM_OfflineOptApprox)->Arg(16)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,63 @@
+// Theorem 5.1 live: the adaptive adversary inspects the monitor's filters
+// each step and drops one output node below the (1−ε)-threshold, forcing a
+// violation — σ − k forced messages per phase against an offline optimum
+// that pays k + 1.
+//
+//   $ ./adversary_demo [--sigma 12] [--k 3] [--steps 200]
+#include <iostream>
+
+#include "offline/opt.hpp"
+#include "protocols/combined.hpp"
+#include "sim/simulator.hpp"
+#include "streams/lb_adversary.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace topkmon;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  LbAdversaryConfig adv_cfg;
+  adv_cfg.sigma = flags.get_uint("sigma", 12);
+  adv_cfg.k = flags.get_uint("k", 3);
+  adv_cfg.n = adv_cfg.sigma + 4;
+  adv_cfg.epsilon = flags.get_double("eps", 0.2);
+  const TimeStep steps = static_cast<TimeStep>(flags.get_uint("steps", 200));
+
+  auto stream = std::make_unique<LbAdversaryStream>(adv_cfg);
+  auto* adversary = stream.get();
+  SimConfig cfg;
+  cfg.k = adv_cfg.k;
+  cfg.epsilon = adv_cfg.epsilon;
+  cfg.seed = flags.get_uint("seed", 9);
+  cfg.strict = true;
+  cfg.record_history = true;
+  Simulator sim(cfg, std::move(stream), std::make_unique<CombinedMonitor>());
+  const auto run = sim.run(steps);
+  const auto opt = OfflineOpt::approx(sim.history(), adv_cfg.k, adv_cfg.epsilon);
+
+  Table t("Adaptive lower-bound adversary (Theorem 5.1): σ=" +
+          std::to_string(adv_cfg.sigma) + ", k=" + std::to_string(adv_cfg.k));
+  t.header({"quantity", "value"});
+  t.add_row({"steps", std::to_string(run.steps)});
+  t.add_row({"adversary phases completed", std::to_string(adversary->phases_completed())});
+  t.add_row({"forced drops (>=1 online msg each)",
+             std::to_string(adversary->drops_performed())});
+  t.add_row({"online messages", format_count(run.messages)});
+  t.add_row({"offline phases (greedy-optimal)", std::to_string(opt.phases)});
+  t.add_row({"offline messages ((k+1)/phase)",
+             std::to_string(opt.messages_constructive)});
+  t.add_row({"competitive ratio (msgs / OPT phases)",
+             format_double(static_cast<double>(run.messages) /
+                               static_cast<double>(std::max<std::uint64_t>(
+                                   1, opt.phases)),
+                           1)});
+  t.add_row({"Ω(σ/k) reference",
+             format_double(static_cast<double>(adv_cfg.sigma) /
+                               static_cast<double>(adv_cfg.k),
+                           1)});
+  std::cout << t.to_ascii();
+  std::cout << "\nNo online algorithm can dodge this: the adversary sees the\n"
+               "filters and always drops a node whose filter must break.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Dense-neighborhood scenario: a fleet of sensors whose readings oscillate
+// inside the ε-band around the k-th value — the regime Sect. 5 of the
+// paper is about. An exact monitor must react to every rank swap inside
+// the band; the ε-monitors may stay silent.
+//
+//   $ ./sensor_noise [--sigma 10] [--k 4] [--eps 0.1] [--steps 1000]
+#include <iostream>
+
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/oscillating.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace topkmon;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  OscillatingConfig stream_cfg;
+  stream_cfg.sigma = flags.get_uint("sigma", 10);
+  stream_cfg.k = flags.get_uint("k", 4);
+  stream_cfg.epsilon = flags.get_double("eps", 0.1);
+  stream_cfg.n = 2 * stream_cfg.sigma + stream_cfg.k + 4;
+  stream_cfg.band_top = 1 << 16;
+  const TimeStep steps = static_cast<TimeStep>(flags.get_uint("steps", 1000));
+
+  Table t("Sensor fleet with σ=" + std::to_string(stream_cfg.sigma) +
+          " nodes oscillating in the ε-band (n=" + std::to_string(stream_cfg.n) +
+          ", k=" + std::to_string(stream_cfg.k) + ", " + std::to_string(steps) +
+          " steps)");
+  t.header({"monitor", "ε used", "messages", "msgs/step"});
+
+  for (const auto& [name, eps] :
+       std::vector<std::pair<std::string, double>>{{"naive_central", 0.0},
+                                                   {"exact_topk", 0.0},
+                                                   {"combined", stream_cfg.epsilon},
+                                                   {"half_error", stream_cfg.epsilon}}) {
+    SimConfig cfg;
+    cfg.k = stream_cfg.k;
+    cfg.epsilon = eps;
+    cfg.seed = flags.get_uint("seed", 5);
+    cfg.strict = true;
+    Simulator sim(cfg, std::make_unique<OscillatingStream>(stream_cfg),
+                  make_protocol(name));
+    const auto r = sim.run(steps);
+    t.add_row({name, format_double(eps, 2), format_count(r.messages),
+               format_double(r.messages_per_step, 2)});
+  }
+  std::cout << t.to_ascii();
+  std::cout << "\nAll the churn lives inside the ε-neighborhood: the approximate\n"
+               "monitors certify the band once and then stay silent, while the\n"
+               "exact ones chase every swap of the k-th position.\n";
+  return 0;
+}

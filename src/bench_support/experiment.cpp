@@ -1,0 +1,55 @@
+#include "bench_support/experiment.hpp"
+
+#include "offline/opt.hpp"
+#include "protocols/registry.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  ExperimentResult res;
+  for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+    SimConfig sim_cfg;
+    sim_cfg.k = cfg.k;
+    sim_cfg.epsilon = cfg.epsilon;
+    sim_cfg.seed = splitmix_combine(cfg.seed, trial);
+    sim_cfg.strict = cfg.strict;
+    sim_cfg.record_history = cfg.opt_kind != OptKind::kNone;
+
+    StreamSpec spec = cfg.stream;
+    spec.k = cfg.k;
+    // Stream generators need a *band* epsilon even when the protocol under
+    // test is exact (epsilon = 0); keep the spec's own value in that case.
+    if (cfg.epsilon > 0.0) {
+      spec.epsilon = cfg.epsilon;
+    }
+
+    Simulator sim(sim_cfg, make_stream(spec), make_protocol(cfg.protocol));
+    const RunResult run = sim.run(cfg.steps);
+
+    res.messages.add(static_cast<double>(run.messages));
+    res.msgs_per_step.add(run.messages_per_step);
+    res.max_sigma.add(static_cast<double>(run.max_sigma));
+    res.max_rounds.add(static_cast<double>(run.max_rounds_per_step));
+
+    if (cfg.opt_kind != OptKind::kNone) {
+      const double eps_opt = cfg.opt_epsilon < 0.0 ? cfg.epsilon : cfg.opt_epsilon;
+      const OptReport opt =
+          cfg.opt_kind == OptKind::kExact
+              ? OfflineOpt::exact(sim.history(), cfg.k)
+              : OfflineOpt::approx(sim.history(), cfg.k, eps_opt);
+      res.opt_phases.add(static_cast<double>(opt.phases));
+      res.ratio.add(static_cast<double>(run.messages) /
+                    static_cast<double>(std::max<std::uint64_t>(1, opt.phases)));
+    }
+    res.last_run = run;
+  }
+  return res;
+}
+
+std::uint64_t splitmix_combine(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
+  return splitmix64(s);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,50 @@
+// Experiment cells: protocol × stream × parameters × trials, with the
+// offline OPT evaluated on exactly the (possibly adversary-generated)
+// history the online algorithm saw, yielding empirical competitive ratios.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+#include "util/summary.hpp"
+
+namespace topkmon {
+
+enum class OptKind : std::uint8_t {
+  kNone,    ///< no offline baseline (ratio column empty)
+  kApprox,  ///< ε′-error offline optimum
+  kExact,   ///< exact offline optimum
+};
+
+struct ExperimentConfig {
+  StreamSpec stream;
+  std::string protocol = "combined";
+  std::size_t k = 3;
+  double epsilon = 0.1;
+  TimeStep steps = 1000;
+  std::size_t trials = 5;
+  std::uint64_t seed = 42;
+  bool strict = false;
+  OptKind opt_kind = OptKind::kApprox;
+  /// ε′ for the offline optimum; negative = use `epsilon`.
+  double opt_epsilon = -1.0;
+};
+
+struct ExperimentResult {
+  SampleSet messages;        ///< total online messages per trial
+  SampleSet msgs_per_step;
+  SampleSet opt_phases;      ///< offline phases per trial
+  SampleSet ratio;           ///< messages / max(1, opt phases)
+  SampleSet max_sigma;
+  SampleSet max_rounds;      ///< max communication rounds in one step
+  RunResult last_run;        ///< full stats of the final trial
+};
+
+/// Runs all trials of one cell (serially; parallelism lives in runner.hpp).
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Mixes a salt into a master seed (per-trial / per-cell derivation).
+std::uint64_t splitmix_combine(std::uint64_t seed, std::uint64_t salt);
+
+}  // namespace topkmon

@@ -1,0 +1,16 @@
+#include "bench_support/runner.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace topkmon {
+
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepRow>& rows,
+                                        std::size_t threads) {
+  std::vector<ExperimentResult> results(rows.size());
+  ThreadPool pool(threads);
+  parallel_for(pool, rows.size(),
+               [&](std::size_t i) { results[i] = run_experiment(rows[i].cfg); });
+  return results;
+}
+
+}  // namespace topkmon

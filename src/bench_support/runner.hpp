@@ -1,0 +1,23 @@
+// Parallel sweep runner: evaluates labelled experiment cells across a
+// thread pool (deterministic — each cell derives its own RNG streams) and
+// renders paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "util/table.hpp"
+
+namespace topkmon {
+
+struct SweepRow {
+  std::string label;
+  ExperimentConfig cfg;
+};
+
+/// Runs all rows (cells) on a pool; results returned in row order.
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepRow>& rows,
+                                        std::size_t threads = 0);
+
+}  // namespace topkmon

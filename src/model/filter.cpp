@@ -1,0 +1,62 @@
+#include "model/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+std::string to_string(Violation v) {
+  switch (v) {
+    case Violation::kNone: return "none";
+    case Violation::kFromBelow: return "from-below";
+    case Violation::kFromAbove: return "from-above";
+  }
+  return "?";
+}
+
+bool filters_valid(std::span<const Filter> filters, const std::vector<bool>& in_output,
+                   double epsilon) {
+  TOPKMON_ASSERT(filters.size() == in_output.size());
+  TOPKMON_ASSERT(epsilon >= 0.0 && epsilon < 1.0);
+  // min over i in F of lo_i must be >= (1-eps) * max over j not in F of hi_j.
+  double min_lo = std::numeric_limits<double>::infinity();
+  double max_hi = -std::numeric_limits<double>::infinity();
+  bool any_in = false, any_out = false;
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    if (in_output[i]) {
+      any_in = true;
+      min_lo = std::min(min_lo, filters[i].lo);
+    } else {
+      any_out = true;
+      max_hi = std::max(max_hi, filters[i].hi);
+    }
+  }
+  if (!any_in || !any_out) return true;  // vacuously valid
+  // Relative tolerance: protocols legitimately set bounds like
+  // u = ℓ/(1−ε), and the round-trip (1−ε)·u can land one ulp above ℓ.
+  const double rhs = (1.0 - epsilon) * max_hi;
+  const double tol = 1e-9 * std::max(1.0, std::abs(rhs));
+  return min_lo >= rhs - tol;
+}
+
+bool filters_valid(std::span<const Filter> filters, const OutputSet& output,
+                   double epsilon) {
+  std::vector<bool> in_output(filters.size(), false);
+  for (NodeId id : output) {
+    TOPKMON_ASSERT(id < filters.size());
+    in_output[id] = true;
+  }
+  return filters_valid(filters, in_output, epsilon);
+}
+
+bool all_within(std::span<const Filter> filters, std::span<const Value> values) {
+  TOPKMON_ASSERT(filters.size() == values.size());
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    if (!filters[i].contains(values[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,68 @@
+// Filters (Definition 2.1 / Observation 2.2 of the paper).
+//
+// A filter is a closed interval [lo, hi] assigned by the server to a node;
+// while the node's value stays inside, the output need not change. Bounds are
+// doubles (DENSEPROTOCOL repeatedly halves real-valued intervals); ±infinity
+// is representable. Violation naming follows the paper:
+//   * "from below": the value exceeded the filter's *upper* bound
+//     (the value broke through the top, coming from below), and
+//   * "from above": the value dropped below the filter's *lower* bound.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+enum class Violation : std::uint8_t {
+  kNone = 0,
+  kFromBelow,  ///< value > hi
+  kFromAbove,  ///< value < lo
+};
+
+std::string to_string(Violation v);
+
+struct Filter {
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+
+  static Filter all() { return Filter{0.0, std::numeric_limits<double>::infinity()}; }
+  static Filter at_least(double l) {
+    return Filter{l, std::numeric_limits<double>::infinity()};
+  }
+  static Filter at_most(double u) { return Filter{0.0, u}; }
+  static Filter point(double v) { return Filter{v, v}; }
+
+  bool contains(Value v) const {
+    const double x = static_cast<double>(v);
+    return x >= lo && x <= hi;
+  }
+
+  Violation check(Value v) const {
+    const double x = static_cast<double>(v);
+    if (x > hi) return Violation::kFromBelow;
+    if (x < lo) return Violation::kFromAbove;
+    return Violation::kNone;
+  }
+
+  bool operator==(const Filter&) const = default;
+};
+
+/// Observation 2.2: an n-tuple of intervals is a set of filters for output F
+/// iff for all i ∈ F and j ∉ F: lo_i >= (1−ε)·hi_j.
+/// `in_output[i]` marks membership of node i in F. ε in [0, 1).
+bool filters_valid(std::span<const Filter> filters, const std::vector<bool>& in_output,
+                   double epsilon);
+
+/// Convenience overload taking the output as a sorted id set.
+bool filters_valid(std::span<const Filter> filters, const OutputSet& output,
+                   double epsilon);
+
+/// True iff every node's current value lies inside its filter.
+bool all_within(std::span<const Filter> filters, std::span<const Value> values);
+
+}  // namespace topkmon

@@ -1,0 +1,94 @@
+#include "model/oracle.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+std::vector<NodeId> Oracle::ranking(std::span<const Value> values) {
+  std::vector<NodeId> ids(values.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  std::sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    return ranks_above(values[a], a, values[b], b);
+  });
+  return ids;
+}
+
+OutputSet Oracle::top_k(std::span<const Value> values, std::size_t k) {
+  TOPKMON_ASSERT(k <= values.size());
+  auto ranked = ranking(values);
+  OutputSet out(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+NodeId Oracle::kth_node(std::span<const Value> values, std::size_t k) {
+  TOPKMON_ASSERT(k >= 1 && k <= values.size());
+  // nth_element over ids would be O(n); ranking is O(n log n) but n is small
+  // in simulation and this is oracle-side (free) code.
+  return ranking(values)[k - 1];
+}
+
+Value Oracle::kth_value(std::span<const Value> values, std::size_t k) {
+  return values[kth_node(values, k)];
+}
+
+std::vector<NodeId> Oracle::neighborhood(std::span<const Value> values, std::size_t k,
+                                         double epsilon) {
+  const Value vk = kth_value(values, k);
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < values.size(); ++i) {
+    if (in_neighborhood(values[i], vk, epsilon)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Oracle::sigma(std::span<const Value> values, std::size_t k, double epsilon) {
+  return neighborhood(values, k, epsilon).size();
+}
+
+bool Oracle::output_valid(std::span<const Value> values, std::size_t k, double epsilon,
+                          const OutputSet& output) {
+  return explain_invalid(values, k, epsilon, output).empty();
+}
+
+std::string Oracle::explain_invalid(std::span<const Value> values, std::size_t k,
+                                    double epsilon, const OutputSet& output) {
+  std::ostringstream oss;
+  if (output.size() != k) {
+    oss << "output size " << output.size() << " != k = " << k;
+    return oss.str();
+  }
+  std::vector<bool> in_out(values.size(), false);
+  for (NodeId id : output) {
+    if (id >= values.size()) {
+      oss << "output contains out-of-range id " << id;
+      return oss.str();
+    }
+    if (in_out[id]) {
+      oss << "output contains duplicate id " << id;
+      return oss.str();
+    }
+    in_out[id] = true;
+  }
+  const Value vk = kth_value(values, k);
+  for (NodeId i = 0; i < values.size(); ++i) {
+    if (clearly_larger(values[i], vk, epsilon) && !in_out[i]) {
+      oss << "node " << i << " (value " << values[i] << ") is clearly larger than v_k="
+          << vk << " but missing from output";
+      return oss.str();
+    }
+    if (in_out[i] && !clearly_larger(values[i], vk, epsilon) &&
+        !in_neighborhood(values[i], vk, epsilon)) {
+      oss << "node " << i << " (value " << values[i]
+          << ") is in the output but clearly smaller than v_k=" << vk;
+      return oss.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace topkmon

@@ -1,0 +1,74 @@
+// Ground-truth oracle for one observation vector.
+//
+// Centralized (free) computation of the quantities in Sect. 2 of the paper:
+// ranks π(i,t), the k-th largest value, the clearly-larger range E(t), the
+// ε-neighborhood A(t), the neighborhood node set K(t), σ(t) = |K(t)|, and the
+// output-correctness predicate for F(t). The simulator uses these to validate
+// protocols after every step (strict mode); protocols themselves never touch
+// the oracle.
+//
+// ε-comparisons are written in multiplication form — `(1−ε)·x ≤ y` — in
+// exactly one place (the helpers below) so protocols and the validator agree
+// bit-for-bit on borderline cases.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+/// v is "clearly larger" than the k-th value vk:  v > vk / (1−ε),
+/// evaluated as (1−ε)·v > vk to avoid division.
+inline bool clearly_larger(Value v, Value vk, double epsilon) {
+  return (1.0 - epsilon) * static_cast<double>(v) > static_cast<double>(vk);
+}
+
+/// v lies in the ε-neighborhood A(t) = [(1−ε)·vk, vk/(1−ε)].
+inline bool in_neighborhood(Value v, Value vk, double epsilon) {
+  const double x = static_cast<double>(v);
+  const double y = static_cast<double>(vk);
+  return x >= (1.0 - epsilon) * y && (1.0 - epsilon) * x <= y;
+}
+
+/// v is "clearly smaller" than vk:  v < (1−ε)·vk.
+inline bool clearly_smaller(Value v, Value vk, double epsilon) {
+  return static_cast<double>(v) < (1.0 - epsilon) * static_cast<double>(vk);
+}
+
+class Oracle {
+ public:
+  /// Node ids ordered by rank (descending value, id tie-break); element 0 is
+  /// the maximum. O(n log n).
+  static std::vector<NodeId> ranking(std::span<const Value> values);
+
+  /// Ids of the k highest-ranked nodes, sorted ascending by id.
+  static OutputSet top_k(std::span<const Value> values, std::size_t k);
+
+  /// The node π(k,t) observing the k-th largest value (1-based k).
+  static NodeId kth_node(std::span<const Value> values, std::size_t k);
+
+  /// The k-th largest value v_π(k,t).
+  static Value kth_value(std::span<const Value> values, std::size_t k);
+
+  /// K(t): ids of nodes inside the ε-neighborhood of the k-th value, sorted.
+  static std::vector<NodeId> neighborhood(std::span<const Value> values, std::size_t k,
+                                          double epsilon);
+
+  /// σ(t) = |K(t)|.
+  static std::size_t sigma(std::span<const Value> values, std::size_t k, double epsilon);
+
+  /// Output correctness per Sect. 2: |F| = k, every clearly-larger node is in
+  /// F, and every remaining member of F lies in the ε-neighborhood.
+  static bool output_valid(std::span<const Value> values, std::size_t k, double epsilon,
+                           const OutputSet& output);
+
+  /// Human-readable reason why `output` is invalid ("" if valid); for tests.
+  static std::string explain_invalid(std::span<const Value> values, std::size_t k,
+                                     double epsilon, const OutputSet& output);
+};
+
+}  // namespace topkmon

@@ -1,0 +1,34 @@
+// Fundamental types of the continuous distributed monitoring model.
+//
+// Values are natural numbers (paper: v_i^t ∈ ℕ). We use uint64 and restrict
+// the observable maximum Δ to 2^48 so that (1−ε)-scaled comparisons in
+// `double` are exact on the integer grid (53-bit mantissa).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace topkmon {
+
+using Value = std::uint64_t;
+using NodeId = std::uint32_t;
+using TimeStep = std::int64_t;
+
+/// Largest value any generator may emit (see file comment).
+inline constexpr Value kMaxObservableValue = Value{1} << 48;
+
+/// A full observation vector for one time step (index = node id).
+using ValueVector = std::vector<Value>;
+
+/// The server's output F(t): exactly k node ids, kept sorted ascending.
+using OutputSet = std::vector<NodeId>;
+
+/// Total order used for the *exact* problem: values with node-id tie-break
+/// (the paper assumes distinct values via identifiers; this realizes that).
+/// Returns true iff node a (value va) ranks strictly above node b (value vb).
+inline bool ranks_above(Value va, NodeId a, Value vb, NodeId b) {
+  if (va != vb) return va > vb;
+  return a < b;
+}
+
+}  // namespace topkmon

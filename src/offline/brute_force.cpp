@@ -1,0 +1,76 @@
+#include "offline/brute_force.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+namespace {
+
+bool subset_ok(const WindowExtrema& w, const std::vector<bool>& in_f, double eps_opt) {
+  double min_f = std::numeric_limits<double>::infinity();
+  double max_out = -std::numeric_limits<double>::infinity();
+  bool any_out = false;
+  for (std::size_t i = 0; i < w.n(); ++i) {
+    if (in_f[i]) {
+      min_f = std::min(min_f, static_cast<double>(w.mins()[i]));
+    } else {
+      max_out = std::max(max_out, static_cast<double>(w.maxs()[i]));
+      any_out = true;
+    }
+  }
+  return !any_out || min_f >= (1.0 - eps_opt) * max_out;
+}
+
+bool enumerate(const WindowExtrema& w, std::vector<bool>& in_f, std::size_t next,
+               std::size_t remaining, double eps_opt) {
+  if (remaining == 0) return subset_ok(w, in_f, eps_opt);
+  if (next >= w.n() || w.n() - next < remaining) return false;
+  in_f[next] = true;
+  if (enumerate(w, in_f, next + 1, remaining - 1, eps_opt)) {
+    in_f[next] = false;
+    return true;
+  }
+  in_f[next] = false;
+  return enumerate(w, in_f, next + 1, remaining, eps_opt);
+}
+
+}  // namespace
+
+bool window_feasible_approx_brute(const WindowExtrema& w, std::size_t k,
+                                  double eps_opt) {
+  TOPKMON_ASSERT(w.n() <= 24);  // keep C(n,k) enumeration sane
+  std::vector<bool> in_f(w.n(), false);
+  return enumerate(w, in_f, 0, k, eps_opt);
+}
+
+std::uint64_t min_phases_brute(const std::vector<ValueVector>& history, std::size_t k,
+                               double eps_opt) {
+  const std::size_t T = history.size();
+  if (T == 0) return 0;
+  const std::size_t n = history.front().size();
+
+  // feas[b][e): window feasibility via the brute-force subset test.
+  auto feasible = [&](std::size_t b, std::size_t e) {
+    WindowExtrema w(n);
+    w.reset(history[b]);
+    for (std::size_t t = b + 1; t < e; ++t) w.absorb(history[t]);
+    return window_feasible_approx_brute(w, k, eps_opt);
+  };
+
+  constexpr std::uint64_t kInf = ~std::uint64_t{0};
+  std::vector<std::uint64_t> dp(T + 1, kInf);
+  dp[0] = 0;
+  for (std::size_t e = 1; e <= T; ++e) {
+    for (std::size_t b = 0; b < e; ++b) {
+      if (dp[b] != kInf && feasible(b, e)) {
+        dp[e] = std::min(dp[e], dp[b] + 1);
+      }
+    }
+  }
+  return dp[T];
+}
+
+}  // namespace topkmon

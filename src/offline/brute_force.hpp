@@ -1,0 +1,22 @@
+// Exponential reference implementations used only by tests to validate the
+// fast feasibility check and the greedy phase partition (small n / T).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.hpp"
+#include "offline/feasibility.hpp"
+
+namespace topkmon {
+
+/// Enumerates every k-subset and tests (★) directly. O(C(n,k)·n).
+bool window_feasible_approx_brute(const WindowExtrema& w, std::size_t k,
+                                  double eps_opt);
+
+/// Minimal number of feasible windows covering the history, by dynamic
+/// programming over all O(T²) windows (uses the *brute-force* feasibility).
+std::uint64_t min_phases_brute(const std::vector<ValueVector>& history, std::size_t k,
+                               double eps_opt);
+
+}  // namespace topkmon

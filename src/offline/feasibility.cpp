@@ -1,0 +1,94 @@
+#include "offline/feasibility.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "model/oracle.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+WindowExtrema::WindowExtrema(std::size_t n) : min_(n, 0), max_(n, 0) {}
+
+void WindowExtrema::reset(std::span<const Value> values) {
+  TOPKMON_ASSERT(values.size() == min_.size());
+  min_.assign(values.begin(), values.end());
+  max_.assign(values.begin(), values.end());
+}
+
+void WindowExtrema::absorb(std::span<const Value> values) {
+  TOPKMON_ASSERT(values.size() == min_.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    min_[i] = std::min(min_[i], values[i]);
+    max_[i] = std::max(max_[i], values[i]);
+  }
+}
+
+bool window_feasible_approx(const WindowExtrema& w, std::size_t k, double eps_opt) {
+  const std::size_t n = w.n();
+  TOPKMON_ASSERT(k >= 1 && k <= n);
+  if (k == n) return true;  // empty complement: (★) is vacuous
+  const auto& m = w.mins();
+  const auto& M = w.maxs();
+
+  // Nodes ordered by window-max descending (value, id tie-break).
+  std::vector<NodeId> by_max(n);
+  std::iota(by_max.begin(), by_max.end(), NodeId{0});
+  std::sort(by_max.begin(), by_max.end(), [&](NodeId a, NodeId b) {
+    return ranks_above(M[a], a, M[b], b);
+  });
+
+  // Prefix minima of m over the forced members (by_max[0..j*-2]).
+  // For each candidate j* (1-based position of the highest-M outsider):
+  double forced_min = std::numeric_limits<double>::infinity();
+  const std::size_t max_jstar = std::min(k + 1, n);
+  for (std::size_t jstar = 1; jstar <= max_jstar; ++jstar) {
+    const NodeId outsider = by_max[jstar - 1];
+    const double threshold = (1.0 - eps_opt) * static_cast<double>(M[outsider]);
+    if (forced_min >= threshold) {
+      // Count candidates after the outsider with m >= threshold; they can
+      // fill F up to k while keeping every other node outside (their M is
+      // at most M[outsider], so the complement maximum is unchanged).
+      std::size_t avail = 0;
+      const std::size_t needed = k - (jstar - 1);
+      for (std::size_t p = jstar; p < n && avail < needed; ++p) {
+        if (static_cast<double>(m[by_max[p]]) >= threshold) ++avail;
+      }
+      if (avail >= needed) return true;
+    }
+    // Node at position jstar-1 becomes forced for the next candidate.
+    forced_min =
+        std::min(forced_min, static_cast<double>(m[by_max[jstar - 1]]));
+  }
+  return false;
+}
+
+bool window_feasible_exact(const std::vector<ValueVector>& history, std::size_t begin,
+                           std::size_t end, std::size_t k) {
+  TOPKMON_ASSERT(begin < end && end <= history.size());
+  const std::size_t n = history[begin].size();
+  TOPKMON_ASSERT(k >= 1 && k <= n);
+  const OutputSet f = Oracle::top_k(history[begin], k);
+  std::vector<bool> in_f(n, false);
+  for (NodeId id : f) in_f[id] = true;
+
+  Value min_f = ~Value{0};
+  Value max_out = 0;
+  bool have_out = false;
+  for (std::size_t t = begin; t < end; ++t) {
+    if (Oracle::top_k(history[t], k) != f) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_f[i]) {
+        min_f = std::min(min_f, history[t][i]);
+      } else {
+        max_out = std::max(max_out, history[t][i]);
+        have_out = true;
+      }
+    }
+  }
+  // Touching filters ([x, ∞) and [0, x]) are allowed (Obs. 2.2, ε = 0).
+  return !have_out || min_f >= max_out;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,68 @@
+// Window feasibility for the offline filter-based optimum.
+//
+// By Proposition 2.4 an optimal offline algorithm uses two filters per
+// phase: F1 = [MIN_F(t,t'), ∞) for its output F and F2 = [0, MAX_F̄(t,t')]
+// for the complement. By Lemma 2.5 (and Observation 2.2 with error ε′) the
+// phase [t,t'] requires
+//
+//     min_{i∈F} m_i  ≥  (1−ε′) · max_{j∉F} M_j                      (★)
+//
+// where m_i / M_i are node i's min/max over the window. Conversely, if (★)
+// holds then the two-filter assignment is a valid filter set and — because
+// filter validity plus containment implies output correctness (each i ∈ F,
+// j ∉ F satisfies v_i ≥ ℓ_i ≥ (1−ε′)u_j ≥ (1−ε′)v_j at every step, which
+// pins every clearly-larger node inside F and every clearly-smaller node
+// outside) — OPT indeed need not communicate during the window. So
+// ε′-feasibility of a window is *exactly* "∃ k-subset F satisfying (★)".
+//
+// The exact variant additionally requires the exact top-k set (value with
+// id tie-break) to be constant across the window and (★) with ε′ = 0.
+//
+// Feasibility is monotone under window shrinking (m_i only grows, M_j only
+// shrinks), which makes the greedy maximal-window partition in opt.hpp
+// optimal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+/// Per-node running min/max over a window, extended row by row.
+class WindowExtrema {
+ public:
+  explicit WindowExtrema(std::size_t n);
+
+  /// Resets the window to the single row `values`.
+  void reset(std::span<const Value> values);
+
+  /// Extends the window by one row.
+  void absorb(std::span<const Value> values);
+
+  std::size_t n() const { return min_.size(); }
+  const std::vector<Value>& mins() const { return min_; }
+  const std::vector<Value>& maxs() const { return max_; }
+
+ private:
+  std::vector<Value> min_;
+  std::vector<Value> max_;
+};
+
+/// ∃ k-subset F with min_F m ≥ (1−ε′)·max_F̄ M? O(n log n + n·min(k+1,n)).
+///
+/// Candidate-cut argument: order nodes by M descending; for any F the
+/// highest-M node outside F is at position j* ≤ k+1 in that order, F must
+/// contain all nodes before j*, and the remaining members are best chosen
+/// among the nodes with the largest m values ≥ the threshold
+/// (1−ε′)·M_{j*}. Trying every j* in 1..k+1 is exhaustive.
+bool window_feasible_approx(const WindowExtrema& w, std::size_t k, double eps_opt);
+
+/// Exact-OPT feasibility for history rows [begin, end): constant exact
+/// top-k set across the window plus (★) with ε′ = 0.
+bool window_feasible_exact(const std::vector<ValueVector>& history, std::size_t begin,
+                           std::size_t end, std::size_t k);
+
+}  // namespace topkmon

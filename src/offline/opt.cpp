@@ -1,0 +1,58 @@
+#include "offline/opt.hpp"
+
+#include "offline/feasibility.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+namespace {
+
+OptReport finalize(OptReport r, std::size_t k) {
+  r.phases = r.phase_starts.size();
+  r.messages_lower_bound = r.phases;
+  r.messages_constructive = r.phases * (static_cast<std::uint64_t>(k) + 1);
+  return r;
+}
+
+}  // namespace
+
+OptReport OfflineOpt::approx(const std::vector<ValueVector>& history, std::size_t k,
+                             double eps_opt) {
+  OptReport r;
+  if (history.empty()) return finalize(r, k);
+  const std::size_t n = history.front().size();
+  TOPKMON_ASSERT(k >= 1 && k <= n);
+
+  WindowExtrema w(n);
+  w.reset(history[0]);
+  r.phase_starts.push_back(0);
+  TOPKMON_ASSERT_MSG(window_feasible_approx(w, k, eps_opt),
+                     "single-step window must always be feasible");
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    WindowExtrema trial = w;
+    trial.absorb(history[t]);
+    if (window_feasible_approx(trial, k, eps_opt)) {
+      w = trial;
+    } else {
+      r.phase_starts.push_back(t);
+      w.reset(history[t]);
+    }
+  }
+  return finalize(r, k);
+}
+
+OptReport OfflineOpt::exact(const std::vector<ValueVector>& history, std::size_t k) {
+  OptReport r;
+  if (history.empty()) return finalize(r, k);
+  std::size_t begin = 0;
+  r.phase_starts.push_back(0);
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    if (!window_feasible_exact(history, begin, t + 1, k)) {
+      begin = t;
+      r.phase_starts.push_back(t);
+    }
+  }
+  return finalize(r, k);
+}
+
+}  // namespace topkmon

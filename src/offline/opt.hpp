@@ -1,0 +1,39 @@
+// Offline optimal filter-based algorithm (the competitive-ratio baseline).
+//
+// Greedy maximal feasible windows: start a phase, extend while the window
+// stays feasible (see feasibility.hpp), cut when it breaks, repeat. Because
+// feasibility is monotone under shrinking, the greedy partition uses the
+// minimum possible number of phases — the canonical lower bound on OPT's
+// communication (OPT must send at least one message per phase boundary).
+// We also report the cost of the constructive strategy the paper's
+// Theorem 5.1 adversary analysis uses (k unicasts + 1 broadcast per phase).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+struct OptReport {
+  std::uint64_t phases = 0;
+  /// Starting row of each phase (first is always 0).
+  std::vector<std::size_t> phase_starts;
+  /// Lower bound on OPT's messages: one per phase.
+  std::uint64_t messages_lower_bound = 0;
+  /// Constructive two-filter strategy: (k+1) messages per phase.
+  std::uint64_t messages_constructive = 0;
+};
+
+class OfflineOpt {
+ public:
+  /// ε′-error offline optimum over the recorded history (row = time step).
+  static OptReport approx(const std::vector<ValueVector>& history, std::size_t k,
+                          double eps_opt);
+
+  /// Exact offline optimum (constant exact top-k per phase, ε′ = 0).
+  static OptReport exact(const std::vector<ValueVector>& history, std::size_t k);
+};
+
+}  // namespace topkmon

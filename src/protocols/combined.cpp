@@ -1,0 +1,62 @@
+#include "protocols/combined.hpp"
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+const OutputSet& CombinedMonitor::output() const {
+  return mode_ == Mode::kTopK ? topk_.output() : dense_.output();
+}
+
+void CombinedMonitor::start(SimContext& ctx) {
+  restart(ctx);
+  // The dense component's initial round filters may exclude some current
+  // V2 values (the paper's invalid-filter device); drain them now so the
+  // step contract (quiescence) holds from t = 0.
+  on_step(ctx);
+}
+
+void CombinedMonitor::restart(SimContext& ctx) {
+  ++restarts_;
+  // Bounded retry: a restart can immediately report kInconsistent (e.g. a
+  // pathological tie pattern); re-probing with fresh randomness converges,
+  // and the bound only exists to surface protocol bugs in tests.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const ProbeInfo info = probe_top_k_plus_1(ctx);
+    if (static_cast<double>(info.vk1) <
+        (1.0 - ctx.epsilon()) * static_cast<double>(info.vk)) {
+      mode_ = Mode::kTopK;
+      ++topk_entries_;
+      topk_.begin_from_probe(ctx, info);
+      return;
+    }
+    mode_ = Mode::kDense;
+    ++dense_entries_;
+    if (dense_.begin(ctx, info) == DenseComponent::Outcome::kRunning) {
+      return;
+    }
+  }
+  TOPKMON_ASSERT_MSG(false, "CombinedMonitor could not (re)initialize");
+}
+
+void CombinedMonitor::on_step(SimContext& ctx) {
+  drain_violations(ctx, [&](NodeId id, Value value, Violation side) {
+    if (mode_ == Mode::kTopK) {
+      if (topk_.handle_violation(ctx, id, value, side)) {
+        restart(ctx);
+      }
+      return;
+    }
+    switch (dense_.handle_violation(ctx, id, value, side)) {
+      case DenseComponent::Outcome::kRunning:
+        return;
+      case DenseComponent::Outcome::kIntervalEmpty:
+      case DenseComponent::Outcome::kUniqueTopK:
+      case DenseComponent::Outcome::kInconsistent:
+        restart(ctx);
+        return;
+    }
+  });
+}
+
+}  // namespace topkmon

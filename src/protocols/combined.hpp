@@ -1,0 +1,46 @@
+// Combined ε-Top-k monitor (Theorem 5.8).
+//
+// At every (re)start the server probes the k+1 largest values. If
+// v_{k+1} < (1−ε)·v_k the output is unique — the TOP-K-PROTOCOL core
+// witnesses it (Theorem 4.5 machinery). Otherwise the ε-neighborhood is
+// populated and the DENSEPROTOCOL core runs. Either core eventually reports
+// that its interval emptied (OPT must have communicated) or that the regime
+// flipped; the monitor then starts over. Against an offline algorithm with
+// the same error ε this is O(σ² log(ε v_k) + σ log²(ε v_k) + log log Δ +
+// log 1/ε)-competitive.
+#pragma once
+
+#include "protocols/dense_protocol.hpp"
+#include "protocols/topk_protocol.hpp"
+#include "sim/protocol.hpp"
+
+namespace topkmon {
+
+class CombinedMonitor final : public MonitoringProtocol {
+ public:
+  enum class Mode : std::uint8_t { kTopK, kDense };
+
+  void start(SimContext& ctx) override;
+  void on_step(SimContext& ctx) override;
+  const OutputSet& output() const override;
+  std::string_view name() const override { return "combined"; }
+
+  Mode mode() const { return mode_; }
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint64_t dense_entries() const { return dense_entries_; }
+  std::uint64_t topk_entries() const { return topk_entries_; }
+  const DenseComponent& dense() const { return dense_; }
+  const TopKComponent& topk() const { return topk_; }
+
+ private:
+  void restart(SimContext& ctx);
+
+  Mode mode_ = Mode::kTopK;
+  TopKComponent topk_;
+  DenseComponent dense_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t dense_entries_ = 0;
+  std::uint64_t topk_entries_ = 0;
+};
+
+}  // namespace topkmon

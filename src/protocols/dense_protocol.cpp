@@ -1,0 +1,526 @@
+#include "protocols/dense_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "model/oracle.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace topkmon {
+
+namespace {
+constexpr double kNoReport = -1.0;
+}
+
+// ---------------------------------------------------------------------------
+// Seeding
+// ---------------------------------------------------------------------------
+
+DenseComponent::Outcome DenseComponent::begin(SimContext& ctx, const ProbeInfo& info) {
+  n_ = ctx.n();
+  k_ = ctx.k();
+  eps_ = ctx.epsilon();
+  z_ = static_cast<double>(info.vk);
+  TOPKMON_ASSERT_MSG(static_cast<double>(info.vk1) >= (1.0 - eps_) * z_,
+                     "DenseComponent requires the dense precondition");
+
+  role_.assign(n_, Role::kV3);
+  s1_.assign(n_, false);
+  s2_.assign(n_, false);
+  sp1_.assign(n_, false);
+  sp2_.assign(n_, false);
+  last_report_.assign(n_, kNoReport);
+  v1_count_ = v3_count_ = 0;
+  sub_active_ = false;
+  output_.clear();
+
+  // Announce z (and ε, which is public) so nodes can self-classify; then
+  // learn every node at or above the neighborhood floor. Costs one
+  // broadcast + O(|V1| + |V2|) = O(k + σ) expected messages.
+  ctx.broadcast(MessageTag::kOther);
+  const double floor_v2 = (1.0 - eps_) * z_;
+  auto high_nodes = enumerate_nodes(
+      ctx, [&](const Node& node) { return static_cast<double>(node.value()) >= floor_v2; });
+  for (const auto& hit : high_nodes) {
+    last_report_[hit.id] = static_cast<double>(hit.value);
+    if (clearly_larger(hit.value, info.vk, eps_)) {
+      role_[hit.id] = Role::kV1;
+    } else {
+      role_[hit.id] = Role::kV2;
+    }
+  }
+  for (NodeId i = 0; i < n_; ++i) {
+    if (role_[i] == Role::kV1) ++v1_count_;
+    if (role_[i] == Role::kV3) ++v3_count_;
+  }
+
+  // L0 = [(1−ε)z, z] on the integer grid; z is an observed (integer) value.
+  l_lo_ = static_cast<Value>(std::ceil(floor_v2));
+  l_hi_ = static_cast<Value>(std::floor(z_));
+  TOPKMON_ASSERT(l_lo_ <= l_hi_);
+  rounds_ = 0;
+  recompute_thresholds();
+
+  if (!rebuild_output()) return Outcome::kInconsistent;
+  apply_filters(ctx);
+  return Outcome::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// Thresholds, interval halving [D2]
+// ---------------------------------------------------------------------------
+
+double DenseComponent::lr() const { return lr_cached_; }
+
+void DenseComponent::recompute_thresholds() {
+  lr_cached_ = midpoint(static_cast<double>(l_lo_), static_cast<double>(l_hi_));
+  ur_cached_ = lr_cached_ / (1.0 - eps_);
+}
+
+bool DenseComponent::halve(Half h) {
+  if (l_lo_ > l_hi_) return false;
+  if (l_lo_ == l_hi_) {
+    // Single-point interval empties on any halving (paper's rule).
+    l_lo_ = 1;
+    l_hi_ = 0;
+    return false;
+  }
+  const double mid = midpoint(static_cast<double>(l_lo_), static_cast<double>(l_hi_));
+  switch (h) {
+    case Half::kLowerStrict:
+      l_hi_ = static_cast<Value>(std::ceil(mid)) - 1;
+      break;
+    case Half::kLowerInclusive:
+      l_hi_ = static_cast<Value>(std::floor(mid));
+      break;
+    case Half::kUpper:
+      l_lo_ = static_cast<Value>(std::ceil(mid));
+      break;
+  }
+  return l_lo_ <= l_hi_;
+}
+
+double DenseComponent::sub_lr() const { return sub_lr_cached_; }
+
+bool DenseComponent::sub_halve(Half h) {
+  if (sub_lo_ > sub_hi_) return false;
+  if (sub_lo_ == sub_hi_) {
+    sub_lo_ = 1;
+    sub_hi_ = 0;
+    return false;
+  }
+  const double mid =
+      midpoint(static_cast<double>(sub_lo_), static_cast<double>(sub_hi_));
+  switch (h) {
+    case Half::kLowerStrict:
+      sub_hi_ = static_cast<Value>(std::ceil(mid)) - 1;
+      break;
+    case Half::kLowerInclusive:
+      sub_hi_ = static_cast<Value>(std::floor(mid));
+      break;
+    case Half::kUpper:
+      sub_lo_ = static_cast<Value>(std::ceil(mid));
+      break;
+  }
+  if (sub_lo_ > sub_hi_) return false;
+  sub_lr_cached_ = midpoint(static_cast<double>(sub_lo_), static_cast<double>(sub_hi_));
+  sub_ur_cached_ = sub_lr_cached_ / (1.0 - eps_);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Knowledge counters [D1]
+// ---------------------------------------------------------------------------
+
+std::size_t DenseComponent::count_above_ur() const {
+  std::size_t c = v1_count_;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (role_[i] == Role::kV2 && s1_[i] && last_report_[i] > ur_cached_) ++c;
+  }
+  return c;
+}
+
+std::size_t DenseComponent::count_below_lr() const {
+  std::size_t c = v3_count_;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (role_[i] == Role::kV2 && s2_[i] && last_report_[i] >= 0.0 &&
+        last_report_[i] < lr_cached_) {
+      ++c;
+    }
+  }
+  return c;
+}
+
+std::size_t DenseComponent::sub_count_above() const {
+  std::size_t c = v1_count_;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (role_[i] == Role::kV2 && sp1_[i] && last_report_[i] > sub_ur_cached_) ++c;
+  }
+  return c;
+}
+
+std::size_t DenseComponent::sub_count_below() const {
+  std::size_t c = v3_count_;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (role_[i] == Role::kV2 && sp2_[i] && last_report_[i] >= 0.0 &&
+        last_report_[i] < lr_cached_) {
+      ++c;
+    }
+  }
+  return c;
+}
+
+bool DenseComponent::unique_topk() const {
+  return count_above_ur() == k_ && count_below_lr() == n_ - k_;
+}
+
+// ---------------------------------------------------------------------------
+// Output and filters
+// ---------------------------------------------------------------------------
+
+bool DenseComponent::rebuild_output() {
+  std::vector<bool> prev(n_, false);
+  for (NodeId id : output_) prev[id] = true;
+
+  OutputSet forced;
+  std::vector<NodeId> pool;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (role_[i] == Role::kV1) {
+      forced.push_back(i);
+    } else if (role_[i] == Role::kV2) {
+      if (sub_active_) {
+        if (sp1_[i]) {
+          forced.push_back(i);  // S'1 \ S'2 and S'1 ∩ S'2 are both output
+        } else if (!sp2_[i]) {
+          pool.push_back(i);
+        }
+      } else {
+        if (s1_[i] && !s2_[i]) {
+          forced.push_back(i);
+        } else if (!s1_[i] && !s2_[i]) {
+          pool.push_back(i);
+        }
+      }
+    }
+  }
+  if (forced.size() > k_ || forced.size() + pool.size() < k_) {
+    return false;  // [D3]
+  }
+  // Fill with pool nodes, preferring current output members (stability).
+  std::stable_sort(pool.begin(), pool.end(), [&](NodeId a, NodeId b) {
+    if (prev[a] != prev[b]) return static_cast<bool>(prev[a]);
+    return a < b;
+  });
+  output_ = forced;
+  for (std::size_t i = 0; output_.size() < k_; ++i) {
+    output_.push_back(pool[i]);
+  }
+  std::sort(output_.begin(), output_.end());
+  return true;
+}
+
+Filter DenseComponent::filter_for(const Node& node) const {
+  const NodeId i = node.id();
+  const double z_over = z_ / (1.0 - eps_);
+  const double z_under = (1.0 - eps_) * z_;
+  if (sub_active_) {
+    switch (role_[i]) {
+      case Role::kV1: return Filter::at_least(lr_cached_);
+      case Role::kV3: return Filter::at_most(sub_ur_cached_);
+      case Role::kV2:
+        if (sp1_[i] && !sp2_[i]) return Filter{lr_cached_, z_over};
+        if (sp1_[i] && sp2_[i]) return Filter{sub_lr_cached_, z_over};
+        if (!sp1_[i] && sp2_[i]) return Filter{z_under, sub_ur_cached_};
+        return Filter{lr_cached_, sub_ur_cached_};
+    }
+  } else {
+    switch (role_[i]) {
+      case Role::kV1: return Filter::at_least(lr_cached_);
+      case Role::kV3: return Filter::at_most(ur_cached_);
+      case Role::kV2:
+        if (s1_[i] && !s2_[i]) return Filter{lr_cached_, z_over};
+        if (!s1_[i] && s2_[i]) return Filter{z_under, ur_cached_};
+        // s1 && s2 only exists in the instant before start_sub broadcasts;
+        // give it the widest V2 filter defensively.
+        if (s1_[i] && s2_[i]) return Filter{z_under, z_over};
+        return Filter{lr_cached_, ur_cached_};
+    }
+  }
+  return Filter::all();
+}
+
+void DenseComponent::apply_filters(SimContext& ctx) {
+  ctx.broadcast_filters([&](const Node& node) { return filter_for(node); });
+}
+
+// ---------------------------------------------------------------------------
+// Role moves
+// ---------------------------------------------------------------------------
+
+void DenseComponent::move_to_v1(NodeId id) {
+  TOPKMON_ASSERT(role_[id] == Role::kV2);
+  role_[id] = Role::kV1;
+  ++v1_count_;
+  s1_[id] = s2_[id] = false;
+  sp1_[id] = sp2_[id] = false;
+}
+
+void DenseComponent::move_to_v3(NodeId id) {
+  TOPKMON_ASSERT(role_[id] == Role::kV2);
+  role_[id] = Role::kV3;
+  ++v3_count_;
+  s1_[id] = s2_[id] = false;
+  sp1_[id] = sp2_[id] = false;
+}
+
+// ---------------------------------------------------------------------------
+// Main-protocol violation handling (paper step 3)
+// ---------------------------------------------------------------------------
+
+DenseComponent::Outcome DenseComponent::finish_violation(SimContext& ctx) {
+  (void)ctx;
+  if (unique_topk()) return Outcome::kUniqueTopK;
+  if (!rebuild_output()) return Outcome::kInconsistent;
+  return Outcome::kRunning;
+}
+
+DenseComponent::Outcome DenseComponent::after_halve(SimContext& ctx, Half h,
+                                                    bool clear_s1, bool clear_s2) {
+  if (clear_s1) std::fill(s1_.begin(), s1_.end(), false);
+  if (clear_s2) std::fill(s2_.begin(), s2_.end(), false);
+  if (!halve(h)) return Outcome::kIntervalEmpty;
+  ++rounds_;
+  recompute_thresholds();
+  if (unique_topk()) return Outcome::kUniqueTopK;
+  if (!rebuild_output()) return Outcome::kInconsistent;
+  apply_filters(ctx);
+  return Outcome::kRunning;
+}
+
+DenseComponent::Outcome DenseComponent::handle_violation(SimContext& ctx, NodeId id,
+                                                         Value value, Violation side) {
+  last_report_[id] = static_cast<double>(value);
+  if (sub_active_) {
+    return handle_sub_violation(ctx, id, value, side);
+  }
+  switch (role_[id]) {
+    case Role::kV1:
+      // Step 3.a: a must-be-output node fell below ℓ_r ⇒ ℓ* < ℓ_r.
+      TOPKMON_ASSERT(side == Violation::kFromAbove);
+      return after_halve(ctx, Half::kLowerStrict, /*clear_s1=*/false,
+                         /*clear_s2=*/true);
+    case Role::kV3:
+      // Step 3.a': a must-not-be-output node rose above u_r ⇒ ℓ* ≥ ℓ_r.
+      TOPKMON_ASSERT(side == Violation::kFromBelow);
+      return after_halve(ctx, Half::kUpper, /*clear_s1=*/true, /*clear_s2=*/false);
+    case Role::kV2:
+      break;
+  }
+  const bool in1 = s1_[id];
+  const bool in2 = s2_[id];
+  if (!in1 && !in2) {
+    if (side == Violation::kFromBelow) {
+      // Step 3.b: crossed u_r from below.
+      if (count_above_ur() + 1 > k_) {
+        // 3.b.1: every k-subset must exclude a node above u_r ⇒ ℓ* ≥ ℓ_r.
+        return after_halve(ctx, Half::kUpper, /*clear_s1=*/true, /*clear_s2=*/false);
+      }
+      s1_[id] = true;  // 3.b.2; the node derives its new filter itself
+      ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+      return finish_violation(ctx);
+    }
+    // Step 3.b': dropped below ℓ_r.
+    if (count_below_lr() + 1 > n_ - k_) {
+      // 3.b'.1 ⇒ ℓ* ≤ ℓ_r.
+      return after_halve(ctx, Half::kLowerInclusive, /*clear_s1=*/false,
+                         /*clear_s2=*/true);
+    }
+    s2_[id] = true;  // 3.b'.2
+    ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+    return finish_violation(ctx);
+  }
+  if (in1 && !in2) {
+    if (side == Violation::kFromBelow) {
+      // 3.c.1: observed above z/(1−ε) ⇒ must be in any optimal output.
+      move_to_v1(id);
+      ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+      return finish_violation(ctx);
+    }
+    // 3.c.2: now in S1 ∩ S2 — the ambiguous case SUBPROTOCOL resolves.
+    s2_[id] = true;
+    return start_sub(ctx, id);
+  }
+  if (!in1 && in2) {
+    if (side == Violation::kFromAbove) {
+      // 3.c'.1: observed below (1−ε)z ⇒ cannot be in any optimal output.
+      move_to_v3(id);
+      ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+      return finish_violation(ctx);
+    }
+    // 3.c'.2: S1 ∩ S2 from the other side.
+    s1_[id] = true;
+    return start_sub(ctx, id);
+  }
+  // in1 && in2 in the main protocol should not persist; resolve via sub.
+  return start_sub(ctx, id);
+}
+
+// ---------------------------------------------------------------------------
+// SUBPROTOCOL
+// ---------------------------------------------------------------------------
+
+DenseComponent::Outcome DenseComponent::start_sub(SimContext& ctx, NodeId trigger) {
+  ++sub_calls_;
+  sub_active_ = true;
+  sub_trigger_ = trigger;
+  sub_last_above_violator_.reset();
+  // L'0 = L ∩ [(1−ε)z, ℓ_r] on the grid.
+  sub_lo_ = l_lo_;
+  sub_hi_ = std::min(l_hi_, static_cast<Value>(std::floor(lr_cached_)));
+  TOPKMON_ASSERT(sub_lo_ <= sub_hi_);
+  sub_lr_cached_ = midpoint(static_cast<double>(sub_lo_), static_cast<double>(sub_hi_));
+  sub_ur_cached_ = sub_lr_cached_ / (1.0 - eps_);
+  sp1_ = s1_;
+  std::fill(sp2_.begin(), sp2_.end(), false);
+  if (!rebuild_output()) {
+    terminate_sub();
+    return Outcome::kInconsistent;
+  }
+  apply_filters(ctx);  // one broadcast announcing the sub-round thresholds
+  return Outcome::kRunning;
+}
+
+void DenseComponent::terminate_sub() { sub_active_ = false; }
+
+DenseComponent::Outcome DenseComponent::handle_sub_violation(SimContext& ctx,
+                                                             NodeId id, Value value,
+                                                             Violation side) {
+  (void)value;
+  auto resume_main = [&]() -> Outcome {
+    // If the trigger is still ambiguous (S1 ∩ S2), the sub must continue:
+    // re-enter with the same trigger. Progress is guaranteed because every
+    // sub termination moved some node out of V2 or halved an interval.
+    if (role_[sub_trigger_] == Role::kV2 && s1_[sub_trigger_] && s2_[sub_trigger_]) {
+      return start_sub(ctx, sub_trigger_);
+    }
+    if (unique_topk()) return Outcome::kUniqueTopK;
+    if (!rebuild_output()) return Outcome::kInconsistent;
+    apply_filters(ctx);
+    return Outcome::kRunning;
+  };
+
+  auto sub_upper_half = [&]() -> Outcome {
+    // Steps 3'.a / 3'.b.1: evidence ℓ* ≥ ℓ'_r'. S'1 is re-seeded from S1.
+    sp1_ = s1_;
+    if (!sub_halve(Half::kUpper)) {
+      // L' empty: the last S'1∩S'2 from-above violator (or the trigger)
+      // cannot be in any optimal output.
+      const NodeId victim = sub_last_above_violator_.value_or(sub_trigger_);
+      if (role_[victim] == Role::kV2) move_to_v3(victim);
+      terminate_sub();
+      return resume_main();
+    }
+    ++sub_rounds_;
+    if (!rebuild_output()) {
+      terminate_sub();
+      return Outcome::kInconsistent;
+    }
+    apply_filters(ctx);
+    return Outcome::kRunning;
+  };
+
+  auto finish_sub = [&]() -> Outcome {
+    if (unique_topk()) return Outcome::kUniqueTopK;
+    if (!rebuild_output()) return Outcome::kInconsistent;
+    return Outcome::kRunning;
+  };
+
+  switch (role_[id]) {
+    case Role::kV1:
+      // 3'.a: terminate the sub; main-protocol 3.a semantics apply.
+      TOPKMON_ASSERT(side == Violation::kFromAbove);
+      terminate_sub();
+      return after_halve(ctx, Half::kLowerStrict, /*clear_s1=*/false,
+                         /*clear_s2=*/true);
+    case Role::kV3:
+      // 3'.a'.
+      TOPKMON_ASSERT(side == Violation::kFromBelow);
+      return sub_upper_half();
+    case Role::kV2:
+      break;
+  }
+
+  const bool p1 = sp1_[id];
+  const bool p2 = sp2_[id];
+  if (!p1 && !p2) {
+    if (side == Violation::kFromBelow) {
+      // 3'.b: crossed u'_r'.
+      if (sub_count_above() + 1 > k_) {
+        return sub_upper_half();  // 3'.b.1
+      }
+      sp1_[id] = true;  // 3'.b.2
+      ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+      return finish_sub();
+    }
+    // 3'.b': dropped below ℓ_r.
+    if (sub_count_below() + 1 > n_ - k_) {
+      // 3'.b'.1: terminate; main lower half.
+      terminate_sub();
+      return after_halve(ctx, Half::kLowerInclusive, /*clear_s1=*/false,
+                         /*clear_s2=*/true);
+    }
+    sp2_[id] = true;  // 3'.b'.2
+    ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+    return finish_sub();
+  }
+  if (p1 && !p2) {
+    if (side == Violation::kFromBelow) {
+      // 3'.c.1: above z/(1−ε) ⇒ V1.
+      move_to_v1(id);
+      ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+      return finish_sub();
+    }
+    // 3'.c.2: joins S'1 ∩ S'2.
+    sp2_[id] = true;
+    ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+    return finish_sub();
+  }
+  if (p1 && p2) {
+    if (side == Violation::kFromBelow) {
+      // 3'.d.1: above z/(1−ε) ⇒ V1; the sub is done.
+      move_to_v1(id);
+      terminate_sub();
+      return resume_main();
+    }
+    // 3'.d.2: below ℓ'_r' ⇒ ℓ* < ℓ'_r'; halve L' to the lower side.
+    sub_last_above_violator_ = id;
+    std::fill(sp2_.begin(), sp2_.end(), false);
+    if (!sub_halve(Half::kLowerStrict)) {
+      if (role_[id] == Role::kV2) move_to_v3(id);
+      terminate_sub();
+      return resume_main();
+    }
+    ++sub_rounds_;
+    if (!rebuild_output()) {
+      terminate_sub();
+      return Outcome::kInconsistent;
+    }
+    apply_filters(ctx);
+    return Outcome::kRunning;
+  }
+  // !p1 && p2 — 3'.c'.
+  if (side == Violation::kFromAbove) {
+    // 3'.c'.1: below (1−ε)z ⇒ V3.
+    move_to_v3(id);
+    ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+    return finish_sub();
+  }
+  // 3'.c'.2: joins S'1 ∩ S'2.
+  sp1_[id] = true;
+  ctx.set_filter_free(id, filter_for(ctx.nodes()[id]));
+  return finish_sub();
+}
+
+}  // namespace topkmon

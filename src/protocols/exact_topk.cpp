@@ -1,0 +1,63 @@
+#include "protocols/exact_topk.hpp"
+
+#include "protocols/generic_framework.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace topkmon {
+
+void ExactTopKMonitor::start(SimContext& ctx) {
+  in_output_.assign(ctx.n(), false);
+  begin_phase(ctx);
+  // Values cannot move mid-step, and fresh probe filters fit the current
+  // values by construction, so no drain is needed at start.
+}
+
+void ExactTopKMonitor::begin_phase(SimContext& ctx) {
+  ++phases_;
+  const ProbeInfo info = probe_top_k_plus_1(ctx);
+  output_ = info.top_ids;
+  in_output_.assign(ctx.n(), false);
+  for (NodeId id : output_) in_output_[id] = true;
+  lo_ = info.vk1;
+  hi_ = info.vk;
+  apply_filters(ctx);
+}
+
+void ExactTopKMonitor::apply_filters(SimContext& ctx) {
+  // Midpoint separator; L is never empty when this is called.
+  separator_ = midpoint(static_cast<double>(lo_), static_cast<double>(hi_));
+  ctx.broadcast_filters([&](const Node& node) {
+    return in_output_[node.id()] ? Filter::at_least(separator_)
+                                 : Filter::at_most(separator_);
+  });
+}
+
+void ExactTopKMonitor::on_step(SimContext& ctx) {
+  drain_violations(ctx, [&](NodeId id, Value value, Violation side) {
+    handle_violation(ctx, id, value, side);
+  });
+}
+
+void ExactTopKMonitor::handle_violation(SimContext& ctx, NodeId id, Value value,
+                                        Violation side) {
+  if (side == Violation::kFromBelow) {
+    // A complement node exceeded the separator: any valid separator must be
+    // at least its value.
+    TOPKMON_ASSERT(!in_output_[id]);
+    lo_ = value;
+  } else {
+    // An output node dropped below the separator.
+    TOPKMON_ASSERT(in_output_[id]);
+    hi_ = value;
+  }
+  if (lo_ > hi_) {
+    // L is empty: witnesses v^{t1}_{i1} < v^{t2}_{i2} for i1 ∈ F, i2 ∉ F,
+    // so any filter-based algorithm (OPT included) must have communicated.
+    begin_phase(ctx);
+    return;
+  }
+  apply_filters(ctx);
+}
+
+}  // namespace topkmon

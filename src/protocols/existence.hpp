@@ -1,0 +1,53 @@
+// EXISTENCE protocol (Lemma 3.1).
+//
+// All nodes hold a bit; the server must decide the disjunction. Nodes with a
+// 0 deactivate. In round r = 0, 1, …, ⌈log2 n⌉ every active node sends
+// independently with probability p_r = 2^r / n (clamped to 1); the protocol
+// stops at the first round in which at least one message is sent, or after
+// the final round (in which active nodes send with probability 1, so silence
+// proves the disjunction is false). Las Vegas: the answer is always correct;
+// only the message count is random — O(1) in expectation (the paper bounds
+// it by ~6), ⌈log2 n⌉ + 1 rounds worst case.
+//
+// Every sender attaches its id and current value (fits the O(log n + log Δ)
+// message-size budget), which is what makes this usable for violation
+// reporting and threshold queries: the server learns a non-empty *sample* of
+// the witnesses, not just the bit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "model/types.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+
+struct ExistenceHit {
+  NodeId id;
+  Value value;
+};
+
+struct ExistenceResult {
+  bool any = false;                  ///< the disjunction
+  std::vector<ExistenceHit> senders; ///< witnesses heard in the stopping round
+  std::uint64_t messages = 0;        ///< node→server messages actually sent
+  std::uint64_t rounds = 0;          ///< rounds consumed (≤ ⌈log2 n⌉ + 1)
+};
+
+class ExistenceProtocol {
+ public:
+  /// Runs the protocol over nodes {0,…,n−1}. `bit(i)` is evaluated node-side
+  /// (free); `value(i)` supplies the payload senders attach.
+  static ExistenceResult run(std::size_t n, const std::function<bool(NodeId)>& bit,
+                             const std::function<Value(NodeId)>& value, Rng& rng);
+
+  /// Convenience for plain bit vectors (benches/tests).
+  static ExistenceResult run(const std::vector<bool>& bits, Rng& rng);
+
+  /// Number of rounds the protocol may use for n nodes: ⌈log2 n⌉ + 1.
+  static std::uint64_t max_rounds(std::size_t n);
+};
+
+}  // namespace topkmon

@@ -1,0 +1,61 @@
+#include "protocols/generic_framework.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+ProbeInfo probe_top_k_plus_1(SimContext& ctx) {
+  TOPKMON_ASSERT_MSG(ctx.k() < ctx.n(), "protocols require k < n");
+  ProbeInfo info;
+  info.ranked = ctx.probe_top(ctx.k() + 1);
+  TOPKMON_ASSERT(info.ranked.size() == ctx.k() + 1);
+  info.top_ids.reserve(ctx.k());
+  for (std::size_t i = 0; i < ctx.k(); ++i) {
+    info.top_ids.push_back(info.ranked[i].id);
+  }
+  std::sort(info.top_ids.begin(), info.top_ids.end());
+  info.vk = info.ranked[ctx.k() - 1].value;
+  info.vk1 = info.ranked[ctx.k()].value;
+  return info;
+}
+
+void drain_violations(SimContext& ctx,
+                      const std::function<void(NodeId, Value, Violation)>& handler,
+                      std::uint64_t max_iters) {
+  for (std::uint64_t iter = 0;; ++iter) {
+    TOPKMON_ASSERT_MSG(iter < max_iters, "violation drain did not converge");
+    auto res = ctx.collect_violations();
+    if (!res.any) return;
+    // Process the first reporter; the other senders' reports are stale the
+    // moment the handler changes filters, so the server ignores them (their
+    // messages are already accounted). Nodes still violating will re-report
+    // in the next EXISTENCE run.
+    const auto& hit = res.senders.front();
+    const Violation side = ctx.nodes()[hit.id].filter().check(hit.value);
+    TOPKMON_ASSERT(side != Violation::kNone);
+    handler(hit.id, hit.value, side);
+  }
+}
+
+std::vector<SimContext::ProbeResult> enumerate_nodes(
+    SimContext& ctx, const std::function<bool(const Node&)>& pred) {
+  std::vector<SimContext::ProbeResult> out;
+  std::vector<bool> seen(ctx.n(), false);
+  for (;;) {
+    auto res = ctx.existence(
+        [&](const Node& node) { return !seen[node.id()] && pred(node); },
+        MessageTag::kProbe);
+    if (!res.any) break;
+    for (const auto& hit : res.senders) {
+      if (!seen[hit.id]) {
+        seen[hit.id] = true;
+        out.push_back({hit.id, hit.value});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,42 @@
+// Shared machinery for the Sect. 3 "generic approach":
+//   * probing the k+1 largest values to seed an interval L,
+//   * the per-step violation drain loop (server processes one live
+//     violation at a time; stale reports are ignored, as the paper allows),
+//   * EXISTENCE-based enumeration of all nodes matching a predicate
+//     (used by DENSEPROTOCOL to collect the ε-neighborhood at start-up).
+#pragma once
+
+#include <functional>
+
+#include "model/filter.hpp"
+#include "sim/context.hpp"
+
+namespace topkmon {
+
+struct ProbeInfo {
+  /// Probed nodes in descending rank order; size k+1 (or n if n == k+1... );
+  std::vector<SimContext::ProbeResult> ranked;
+  OutputSet top_ids;  ///< ids of the k highest, sorted ascending
+  Value vk = 0;       ///< k-th largest value
+  Value vk1 = 0;      ///< (k+1)-st largest value
+};
+
+/// Computes the nodes holding the k+1 largest values (Lemma 2.6 applied
+/// k+1 times): O(k log n) messages expected. Requires k < n.
+ProbeInfo probe_top_k_plus_1(SimContext& ctx);
+
+/// Runs the per-step violation loop: repeatedly EXISTENCE-collects
+/// violations and hands exactly one *live* report to `handler`
+/// (id, reported value, direction). The handler must change state so the
+/// violation cannot recur unboundedly; the loop asserts after `max_iters`
+/// iterations to catch non-progressing protocols in tests.
+void drain_violations(SimContext& ctx,
+                      const std::function<void(NodeId, Value, Violation)>& handler,
+                      std::uint64_t max_iters = 1u << 20);
+
+/// Enumerates *all* nodes satisfying `pred` by repeated EXISTENCE runs with
+/// node-side dedup; O(#found + 1) expected messages. Returns (id, value).
+std::vector<SimContext::ProbeResult> enumerate_nodes(
+    SimContext& ctx, const std::function<bool(const Node&)>& pred);
+
+}  // namespace topkmon

@@ -1,0 +1,145 @@
+#include "protocols/half_error.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+const OutputSet& HalfErrorMonitor::output() const {
+  return mode_ == Mode::kTopK ? topk_.output() : output_;
+}
+
+void HalfErrorMonitor::start(SimContext& ctx) {
+  k_target_ = ctx.k();
+  restart(ctx);
+  // Drain violations induced by the initial round filters (V2 nodes above
+  // u_r / below ℓ_r commit themselves right away).
+  on_step(ctx);
+}
+
+void HalfErrorMonitor::restart(SimContext& ctx) {
+  ++phases_;
+  const ProbeInfo info = probe_top_k_plus_1(ctx);
+  if (static_cast<double>(info.vk1) <
+      (1.0 - ctx.epsilon()) * static_cast<double>(info.vk)) {
+    mode_ = Mode::kTopK;
+    topk_.begin_from_probe(ctx, info);
+    return;
+  }
+  mode_ = Mode::kDenseRound;
+  enter_dense_round(ctx, info);
+}
+
+void HalfErrorMonitor::enter_dense_round(SimContext& ctx, const ProbeInfo& info) {
+  const double eps = ctx.epsilon();
+  z_ = static_cast<double>(info.vk);
+  lr_ = (1.0 - eps / 2.0) * z_;  // midpoint of [(1−ε)z, z]
+  ur_ = lr_ / (1.0 - eps);
+
+  // Classify via one broadcast (z) + enumeration of the non-V3 nodes.
+  ctx.broadcast(MessageTag::kOther);
+  role_.assign(ctx.n(), DenseComponent::Role::kV3);
+  v1_count_ = v3_count_ = 0;
+  const double floor_v2 = (1.0 - eps) * z_;
+  auto high = enumerate_nodes(ctx, [&](const Node& node) {
+    return static_cast<double>(node.value()) >= floor_v2;
+  });
+  for (const auto& hit : high) {
+    const double v = static_cast<double>(hit.value);
+    role_[hit.id] = v > ur_ ? DenseComponent::Role::kV1 : DenseComponent::Role::kV2;
+  }
+  for (NodeId i = 0; i < ctx.n(); ++i) {
+    if (role_[i] == DenseComponent::Role::kV1) ++v1_count_;
+    if (role_[i] == DenseComponent::Role::kV3) ++v3_count_;
+  }
+  const bool ok = rebuild_output();
+  TOPKMON_ASSERT_MSG(ok, "half-error initial classification must yield k candidates");
+  apply_filters(ctx);
+}
+
+bool HalfErrorMonitor::rebuild_output() {
+  std::vector<bool> prev(role_.size(), false);
+  for (NodeId id : output_) prev[id] = true;
+  OutputSet forced;
+  std::vector<NodeId> pool;
+  for (NodeId i = 0; i < role_.size(); ++i) {
+    if (role_[i] == DenseComponent::Role::kV1) forced.push_back(i);
+    if (role_[i] == DenseComponent::Role::kV2) pool.push_back(i);
+  }
+  if (forced.size() > k_target_ || forced.size() + pool.size() < k_target_) {
+    return false;
+  }
+  std::stable_sort(pool.begin(), pool.end(), [&](NodeId a, NodeId b) {
+    if (prev[a] != prev[b]) return static_cast<bool>(prev[a]);
+    return a < b;
+  });
+  output_ = forced;
+  for (std::size_t i = 0; output_.size() < k_target_; ++i) {
+    output_.push_back(pool[i]);
+  }
+  std::sort(output_.begin(), output_.end());
+  return true;
+}
+
+void HalfErrorMonitor::apply_filters(SimContext& ctx) {
+  const double lr = lr_;
+  const double ur = ur_;
+  ctx.broadcast_filters([&, lr, ur](const Node& node) {
+    switch (role_[node.id()]) {
+      case DenseComponent::Role::kV1: return Filter::at_least(lr);
+      case DenseComponent::Role::kV2: return Filter{lr, ur};
+      case DenseComponent::Role::kV3: return Filter::at_most(ur);
+    }
+    return Filter::all();
+  });
+}
+
+bool HalfErrorMonitor::handle_dense_violation(SimContext& ctx, NodeId id, Value value,
+                                              Violation side) {
+  (void)value;
+  switch (role_[id]) {
+    case DenseComponent::Role::kV1:
+    case DenseComponent::Role::kV3:
+      // A committed node violated: Cor. 5.9's case analysis shows OPT(ε/2)
+      // must have communicated; recompute from scratch.
+      return true;
+    case DenseComponent::Role::kV2:
+      break;
+  }
+  if (side == Violation::kFromBelow) {
+    role_[id] = DenseComponent::Role::kV1;  // observed above ur
+    ++v1_count_;
+  } else {
+    role_[id] = DenseComponent::Role::kV3;  // observed below lr
+    ++v3_count_;
+  }
+  // The node derives its committed-role filter from the broadcast state.
+  ctx.set_filter_free(id, role_[id] == DenseComponent::Role::kV1
+                              ? Filter::at_least(lr_)
+                              : Filter::at_most(ur_));
+  if (v1_count_ > k_target_) return true;                  // > k forced in
+  if (role_.size() - v3_count_ < k_target_) return true;   // < k candidates
+  if (v1_count_ == k_target_ && v3_count_ == role_.size() - k_target_) {
+    // Unique output; the restart probe will certify the gap and hand over
+    // to the TOP-K core.
+    return true;
+  }
+  return !rebuild_output();
+}
+
+void HalfErrorMonitor::on_step(SimContext& ctx) {
+  drain_violations(ctx, [&](NodeId id, Value value, Violation side) {
+    if (mode_ == Mode::kTopK) {
+      if (topk_.handle_violation(ctx, id, value, side)) {
+        restart(ctx);
+      }
+      return;
+    }
+    if (handle_dense_violation(ctx, id, value, side)) {
+      restart(ctx);
+    }
+  });
+}
+
+}  // namespace topkmon

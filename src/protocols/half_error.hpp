@@ -1,0 +1,56 @@
+// Half-error monitor (Corollary 5.9).
+//
+// Competitive against an offline algorithm restricted to error ε′ ≤ ε/2.
+// The extra slack lets the online side replace DENSEPROTOCOL's interval
+// halving by a *single* simulated dense round with the midpoint thresholds
+//   ℓ = (1 − ε/2)·z          (midpoint of [(1−ε)z, z])
+//   u = ℓ / (1 − ε),
+// and commit V2 nodes directly on their first violation: above u ⇒ V1,
+// below ℓ ⇒ V3 — each for O(1) messages, at most σ commits per phase. The
+// phase ends (full recompute) when a committed node violates again, when
+// |V1| > k, or when fewer than k candidates remain; if |V1| = k and
+// |V3| = n − k the output is unique and the TOP-K-PROTOCOL core takes over.
+// Every termination forces OPT(ε/2) to have communicated (Cor. 5.9's
+// case analysis), giving O(σ + k log n + log log Δ + log 1/ε).
+#pragma once
+
+#include "protocols/dense_protocol.hpp"
+#include "protocols/topk_protocol.hpp"
+#include "sim/protocol.hpp"
+
+namespace topkmon {
+
+class HalfErrorMonitor final : public MonitoringProtocol {
+ public:
+  void start(SimContext& ctx) override;
+  void on_step(SimContext& ctx) override;
+  const OutputSet& output() const override;
+  std::string_view name() const override { return "half_error"; }
+
+  std::uint64_t phases() const { return phases_; }
+  bool in_topk_mode() const { return mode_ == Mode::kTopK; }
+
+ private:
+  enum class Mode : std::uint8_t { kDenseRound, kTopK };
+
+  void restart(SimContext& ctx);
+  void enter_dense_round(SimContext& ctx, const ProbeInfo& info);
+  /// Returns true if a full restart is required.
+  bool handle_dense_violation(SimContext& ctx, NodeId id, Value value, Violation side);
+  bool rebuild_output();
+  void apply_filters(SimContext& ctx);
+
+  Mode mode_ = Mode::kDenseRound;
+  TopKComponent topk_;
+
+  double z_ = 0.0;
+  double lr_ = 0.0;  ///< (1 − ε/2)·z
+  double ur_ = 0.0;  ///< lr / (1 − ε)
+  std::size_t k_target_ = 0;
+  std::vector<DenseComponent::Role> role_;
+  std::size_t v1_count_ = 0, v3_count_ = 0;
+  OutputSet output_;
+  std::uint64_t phases_ = 0;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,56 @@
+#include "protocols/naive.hpp"
+
+#include "model/oracle.hpp"
+
+namespace topkmon {
+
+void NaiveCentralMonitor::start(SimContext& ctx) {
+  known_.resize(ctx.n());
+  collect_and_recompute(ctx);
+}
+
+void NaiveCentralMonitor::on_step(SimContext& ctx) { collect_and_recompute(ctx); }
+
+void NaiveCentralMonitor::collect_and_recompute(SimContext& ctx) {
+  for (NodeId i = 0; i < ctx.n(); ++i) {
+    known_[i] = ctx.report_value(i, MessageTag::kOther);
+  }
+  output_ = Oracle::top_k(known_, ctx.k());
+  // One broadcast re-arms the point-filter rule for the new step.
+  ctx.broadcast_filters([&](const Node& node) {
+    return Filter::point(static_cast<double>(known_[node.id()]));
+  });
+}
+
+void NaiveChangeMonitor::start(SimContext& ctx) {
+  known_.resize(ctx.n());
+  for (NodeId i = 0; i < ctx.n(); ++i) {
+    known_[i] = ctx.report_value(i, MessageTag::kOther);
+  }
+  recompute(ctx);
+}
+
+void NaiveChangeMonitor::on_step(SimContext& ctx) {
+  // Point filters make "value changed" and "filter violated" identical; the
+  // nodes report *directly* (no EXISTENCE batching) — this is the ablation
+  // point of experiment E8a.
+  bool any = false;
+  for (const auto& node : ctx.nodes()) {
+    if (node.violating()) {
+      known_[node.id()] = ctx.report_value(node.id(), MessageTag::kViolation);
+      any = true;
+    }
+  }
+  if (any) {
+    recompute(ctx);
+  }
+}
+
+void NaiveChangeMonitor::recompute(SimContext& ctx) {
+  output_ = Oracle::top_k(known_, ctx.k());
+  ctx.broadcast_filters([&](const Node& node) {
+    return Filter::point(static_cast<double>(known_[node.id()]));
+  });
+}
+
+}  // namespace topkmon

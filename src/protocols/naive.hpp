@@ -1,0 +1,48 @@
+// Non-competitive baselines for context in the benches.
+//
+// * NaiveCentralMonitor: every node reports its value every step; the
+//   server recomputes the exact top-k. Cost: n + 1 messages per step.
+//   The canonical "no filters" straw man.
+// * NaiveChangeMonitor: zero-width (point) filters — a node reports exactly
+//   when its value changed; the server tracks all values and recomputes the
+//   exact top-k. Cost: #changed nodes per step (plus one broadcast at start
+//   establishing the "your filter is your last reported value" rule).
+//
+// Both produce *exact* outputs, so they are also valid ε-outputs for any ε;
+// both use valid filter sets (point filters of an exact top-k configuration
+// always satisfy Observation 2.2).
+#pragma once
+
+#include "sim/protocol.hpp"
+
+namespace topkmon {
+
+class NaiveCentralMonitor final : public MonitoringProtocol {
+ public:
+  void start(SimContext& ctx) override;
+  void on_step(SimContext& ctx) override;
+  const OutputSet& output() const override { return output_; }
+  std::string_view name() const override { return "naive_central"; }
+
+ private:
+  void collect_and_recompute(SimContext& ctx);
+
+  OutputSet output_;
+  ValueVector known_;
+};
+
+class NaiveChangeMonitor final : public MonitoringProtocol {
+ public:
+  void start(SimContext& ctx) override;
+  void on_step(SimContext& ctx) override;
+  const OutputSet& output() const override { return output_; }
+  std::string_view name() const override { return "naive_change"; }
+
+ private:
+  void recompute(SimContext& ctx);
+
+  OutputSet output_;
+  ValueVector known_;
+};
+
+}  // namespace topkmon

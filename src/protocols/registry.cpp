@@ -1,0 +1,28 @@
+#include "protocols/registry.hpp"
+
+#include <stdexcept>
+
+#include "protocols/combined.hpp"
+#include "protocols/exact_topk.hpp"
+#include "protocols/half_error.hpp"
+#include "protocols/naive.hpp"
+#include "protocols/topk_protocol.hpp"
+
+namespace topkmon {
+
+std::unique_ptr<MonitoringProtocol> make_protocol(const std::string& name) {
+  if (name == "exact_topk") return std::make_unique<ExactTopKMonitor>();
+  if (name == "topk_protocol") return std::make_unique<TopKProtocol>();
+  if (name == "combined") return std::make_unique<CombinedMonitor>();
+  if (name == "half_error") return std::make_unique<HalfErrorMonitor>();
+  if (name == "naive_central") return std::make_unique<NaiveCentralMonitor>();
+  if (name == "naive_change") return std::make_unique<NaiveChangeMonitor>();
+  throw std::runtime_error("unknown protocol: " + name);
+}
+
+std::vector<std::string> protocol_names() {
+  return {"exact_topk", "topk_protocol", "combined",
+          "half_error", "naive_central", "naive_change"};
+}
+
+}  // namespace topkmon

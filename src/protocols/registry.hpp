@@ -1,0 +1,20 @@
+// Name-based protocol factory for CLI tools, benches and matrix tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace topkmon {
+
+/// Constructs the monitoring protocol named `name`; throws
+/// std::runtime_error for unknown names. Known names: exact_topk,
+/// topk_protocol, combined, half_error, naive_central, naive_change.
+std::unique_ptr<MonitoringProtocol> make_protocol(const std::string& name);
+
+/// All registered protocol names.
+std::vector<std::string> protocol_names();
+
+}  // namespace topkmon

@@ -1,0 +1,118 @@
+#include "protocols/sampling.hpp"
+
+#include "protocols/existence.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+namespace {
+
+SampleMaxOutcome sample_max_excluding(std::span<const Value> values,
+                                      const std::vector<bool>& excluded, Rng& rng) {
+  SampleMaxOutcome out;
+  for (;;) {
+    auto res = ExistenceProtocol::run(
+        values.size(),
+        [&](NodeId i) {
+          if (excluded[i]) return false;
+          if (!out.found) return true;
+          return ranks_above(values[i], i, out.value, out.id);
+        },
+        [&](NodeId i) { return values[i]; }, rng);
+    out.messages += res.messages;
+    out.rounds += res.rounds;
+    ++out.iterations;
+    if (!res.any) break;
+    for (const auto& hit : res.senders) {
+      if (!out.found || ranks_above(hit.value, hit.id, out.value, out.id)) {
+        out.found = true;
+        out.id = hit.id;
+        out.value = hit.value;
+      }
+    }
+    ++out.messages;  // broadcast of the improved threshold
+  }
+  return out;
+}
+
+}  // namespace
+
+SampleMaxOutcome sample_max_standalone(std::span<const Value> values, Rng& rng) {
+  TOPKMON_ASSERT(!values.empty());
+  std::vector<bool> excluded(values.size(), false);
+  return sample_max_excluding(values, excluded, rng);
+}
+
+SampleMaxOutcome bisect_max_standalone(std::span<const Value> values, Value delta,
+                                       Rng& rng) {
+  TOPKMON_ASSERT(!values.empty());
+  SampleMaxOutcome out;
+  // Bisect [lo, hi] on "does any node exceed mid?"; every query is one
+  // EXISTENCE run whose witnesses (if any) also advance the best estimate.
+  Value lo = 0;
+  Value hi = delta;
+  while (lo < hi) {
+    const Value mid = lo + (hi - lo) / 2;
+    auto res = ExistenceProtocol::run(
+        values.size(), [&](NodeId i) { return values[i] > mid; },
+        [&](NodeId i) { return values[i]; }, rng);
+    out.messages += res.messages;
+    out.rounds += res.rounds;
+    ++out.iterations;
+    if (res.any) {
+      for (const auto& hit : res.senders) {
+        if (!out.found || ranks_above(hit.value, hit.id, out.value, out.id)) {
+          out.found = true;
+          out.id = hit.id;
+          out.value = hit.value;
+        }
+      }
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    ++out.messages;  // broadcast of the next threshold
+  }
+  // `lo` is now the maximum value; converge on the top-ranked holder (ties
+  // by lowest id) with sampling rounds restricted to the max-value set.
+  for (;;) {
+    auto res = ExistenceProtocol::run(
+        values.size(),
+        [&](NodeId i) {
+          if (values[i] != lo) return false;
+          if (!out.found) return true;
+          return ranks_above(values[i], i, out.value, out.id);
+        },
+        [&](NodeId i) { return values[i]; }, rng);
+    out.messages += res.messages;
+    out.rounds += res.rounds;
+    if (!res.any) break;
+    for (const auto& hit : res.senders) {
+      if (!out.found || ranks_above(hit.value, hit.id, out.value, out.id)) {
+        out.found = true;
+        out.id = hit.id;
+        out.value = hit.value;
+      }
+    }
+    ++out.messages;  // broadcast the improved holder
+  }
+  return out;
+}
+
+ProbeTopOutcome probe_top_standalone(std::span<const Value> values, std::size_t m,
+                                     Rng& rng) {
+  TOPKMON_ASSERT(m <= values.size());
+  ProbeTopOutcome out;
+  std::vector<bool> excluded(values.size(), false);
+  for (std::size_t j = 0; j < m; ++j) {
+    auto r = sample_max_excluding(values, excluded, rng);
+    out.messages += r.messages;
+    out.rounds += r.rounds;
+    if (!r.found) break;
+    excluded[r.id] = true;
+    out.top.emplace_back(r.id, r.value);
+  }
+  return out;
+}
+
+}  // namespace topkmon

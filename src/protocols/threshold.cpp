@@ -1,0 +1,41 @@
+#include "protocols/threshold.hpp"
+
+#include "protocols/generic_framework.hpp"
+
+namespace topkmon {
+
+bool any_above(SimContext& ctx, double threshold) {
+  return ctx
+      .existence([threshold](const Node& node) {
+        return static_cast<double>(node.value()) > threshold;
+      })
+      .any;
+}
+
+bool any_below(SimContext& ctx, double threshold) {
+  return ctx
+      .existence([threshold](const Node& node) {
+        return static_cast<double>(node.value()) < threshold;
+      })
+      .any;
+}
+
+bool all_quiet(SimContext& ctx) { return !ctx.collect_violations().any; }
+
+std::vector<SimContext::ProbeResult> collect_at_least(SimContext& ctx,
+                                                      double threshold) {
+  return enumerate_nodes(ctx, [threshold](const Node& node) {
+    return static_cast<double>(node.value()) >= threshold;
+  });
+}
+
+std::vector<SimContext::ProbeResult> collect_all_deterministic(SimContext& ctx) {
+  std::vector<SimContext::ProbeResult> out;
+  out.reserve(ctx.n());
+  for (NodeId i = 0; i < ctx.n(); ++i) {
+    out.push_back({i, ctx.report_value(i, MessageTag::kOther)});
+  }
+  return out;
+}
+
+}  // namespace topkmon

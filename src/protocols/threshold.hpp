@@ -1,0 +1,37 @@
+// Threshold queries on top of EXISTENCE (Corollary 3.2 and the subtasks the
+// paper lists: "validating that all nodes are within their filters,
+// identifying that there is some filter-violation or whether there are
+// nodes that have a higher value than a certain threshold").
+//
+// These are the building blocks a deployment would actually call between
+// protocol phases; each costs O(1) messages in expectation.
+#pragma once
+
+#include <optional>
+
+#include "sim/context.hpp"
+
+namespace topkmon {
+
+/// Is any node's value strictly above `threshold`? O(1) msgs expected.
+bool any_above(SimContext& ctx, double threshold);
+
+/// Is any node's value strictly below `threshold`? O(1) msgs expected.
+bool any_below(SimContext& ctx, double threshold);
+
+/// Are all nodes currently inside their filters? O(1) msgs expected
+/// (zero messages when quiescent).
+bool all_quiet(SimContext& ctx);
+
+/// Counts the nodes with value >= threshold by EXISTENCE-enumeration;
+/// O(count + 1) messages expected. Intended for small counts (the dense
+/// protocol's neighborhood collection); returns the ids and values.
+std::vector<SimContext::ProbeResult> collect_at_least(SimContext& ctx,
+                                                      double threshold);
+
+/// Deterministic O(1)-round, n-message fallback: every node reports once.
+/// Used to cross-check the randomized primitives in tests and to provide a
+/// deterministic mode for debugging.
+std::vector<SimContext::ProbeResult> collect_all_deterministic(SimContext& ctx);
+
+}  // namespace topkmon

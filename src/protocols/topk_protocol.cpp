@@ -1,0 +1,129 @@
+#include "protocols/topk_protocol.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace topkmon {
+
+bool TopKComponent::p1_holds(double l, double u) {
+  return loglog2(u) > loglog2(l) + 1.0;
+}
+
+void TopKComponent::begin(SimContext& ctx) {
+  begin_from_probe(ctx, probe_top_k_plus_1(ctx));
+}
+
+void TopKComponent::begin_from_probe(SimContext& ctx, const ProbeInfo& info) {
+  output_ = info.top_ids;
+  in_output_.assign(ctx.n(), false);
+  for (NodeId id : output_) in_output_[id] = true;
+  l_ = static_cast<double>(info.vk1);
+  u_ = static_cast<double>(info.vk);
+  l0_ = l_;
+  r_ = 0;
+  left_a1_ = false;
+  select_phase(ctx);
+}
+
+void TopKComponent::select_phase(SimContext& ctx) {
+  TOPKMON_ASSERT_MSG(l_ <= u_, "select_phase requires non-empty L");
+  if (!left_a1_ && p1_holds(l_, u_)) {
+    phase_ = Phase::kA1;
+  } else if (u_ > 4.0 * l_) {
+    left_a1_ = true;
+    phase_ = Phase::kA2;
+  } else if ((1.0 - ctx.epsilon()) * u_ > l_) {
+    left_a1_ = true;
+    phase_ = Phase::kA3;
+  } else {
+    left_a1_ = true;
+    phase_ = Phase::kP4;
+  }
+  apply_filters(ctx);
+}
+
+double TopKComponent::choose_separator() const {
+  switch (phase_) {
+    case Phase::kA1: {
+      // m = ℓ0 + 2^(2^r); both exponentiations saturate so that values past
+      // Δ simply trigger the from-above transition out of A1.
+      const double inner = pow2_saturated(static_cast<double>(r_), 63.0);
+      return l0_ + pow2_saturated(inner);
+    }
+    case Phase::kA2: {
+      const double mid = midpoint(log2_clamped(l_), log2_clamped(u_));
+      return std::exp2(mid);
+    }
+    case Phase::kA3:
+      return midpoint(l_, u_);
+    case Phase::kP4:
+      return 0.0;  // unused
+  }
+  return 0.0;
+}
+
+void TopKComponent::apply_filters(SimContext& ctx) {
+  if (phase_ == Phase::kP4) {
+    // Overlapping filters; valid because (1−ε)·u ≤ ℓ (property P4).
+    const double lo = l_;
+    const double hi = u_;
+    ctx.broadcast_filters([&, lo, hi](const Node& node) {
+      return in_output_[node.id()] ? Filter::at_least(lo) : Filter::at_most(hi);
+    });
+    return;
+  }
+  separator_ = choose_separator();
+  const double m = separator_;
+  ctx.broadcast_filters([&, m](const Node& node) {
+    return in_output_[node.id()] ? Filter::at_least(m) : Filter::at_most(m);
+  });
+}
+
+bool TopKComponent::handle_violation(SimContext& ctx, NodeId id, Value value,
+                                     Violation side) {
+  ++violations_;
+  if (phase_ == Phase::kA1) {
+    ++r_;
+  }
+  if (side == Violation::kFromBelow) {
+    // A complement node exceeded its upper bound: the exact OPT's separator
+    // must lie at or above the reported value (Theorem 4.5's invariant).
+    TOPKMON_ASSERT(!in_output_[id]);
+    l_ = static_cast<double>(value);
+  } else {
+    // An output node fell below its lower bound: OPT's separator must lie
+    // at or below the reported value.
+    TOPKMON_ASSERT(in_output_[id]);
+    u_ = static_cast<double>(value);
+    // Lemma 4.1: a from-above violation ends regime A1 (log log u' is then
+    // within 1 of log log ℓ'). Enforce the exit even in boundary cases so a
+    // node below every future A1 probe cannot pin the protocol in A1.
+    left_a1_ = true;
+  }
+  if (l_ > u_) {
+    return true;  // L empty — caller recomputes from scratch
+  }
+  select_phase(ctx);
+  return false;
+}
+
+void TopKProtocol::start(SimContext& ctx) {
+  ++phases_;
+  core_.begin(ctx);
+  // A1 may install a probe separator above the current k-th value (invalid
+  // filters are allowed); resolve the induced violations immediately.
+  on_step(ctx);
+}
+
+void TopKProtocol::on_step(SimContext& ctx) {
+  drain_violations(ctx, [&](NodeId id, Value value, Violation side) {
+    if (core_.handle_violation(ctx, id, value, side)) {
+      ++phases_;
+      core_.begin(ctx);
+    }
+  });
+}
+
+}  // namespace topkmon

@@ -1,0 +1,91 @@
+// TOP-K-PROTOCOL (Sect. 4 of the paper, Theorem 4.5).
+//
+// Strategy: compute F(t) once (probe of the k+1 largest values), then
+// *witness* its correctness cheaply. The server maintains an interval
+// L = [ℓ, u] that is guaranteed to contain the lower filter endpoint ℓ* any
+// non-communicating exact offline algorithm must have used (invariant
+// L* ⊆ L). Four consecutive regimes choose the broadcast separator m:
+//
+//   (P1)  log log u > log log ℓ + 1   → A1: m = ℓ0 + 2^(2^r) after r
+//         violations — doubly-exponential probing; ≤ O(log log Δ) steps.
+//   (P2)  ¬P1 ∧ u > 4ℓ               → A2: m = 2^mid, mid the midpoint of
+//         [log ℓ, log u] — geometric halving; O(1) steps.
+//   (P3)  u ≤ 4ℓ ∧ (1−ε)·u > ℓ       → A3: arithmetic midpoint; the ε-slack
+//         stops this after O(log 1/ε) steps.
+//   (P4)  (1−ε)·u ≤ ℓ                → overlapping filters F1 = [ℓ, ∞),
+//         F2 = [0, u] are valid w.r.t. ε; wait for the crossing violation.
+//
+// Any violation shrinks L (from below: ℓ := v; from above: u := v); when
+// ℓ > u the interval — and with it L* — is empty, so the exact OPT must
+// have communicated: the protocol recomputes from scratch. Total cost per
+// phase: O(k log n + log log Δ + log 1/ε) expected (Theorem 4.5).
+//
+// `TopKComponent` is the reusable core (the combined Theorem 5.8 monitor
+// embeds it); `TopKProtocol` is the self-restarting MonitoringProtocol.
+#pragma once
+
+#include "protocols/generic_framework.hpp"
+#include "sim/protocol.hpp"
+
+namespace topkmon {
+
+class TopKComponent {
+ public:
+  enum class Phase : std::uint8_t { kA1, kA2, kA3, kP4 };
+
+  /// Seeds the component from a fresh probe (pays O(k log n)) and installs
+  /// filters for the current values.
+  void begin(SimContext& ctx);
+
+  /// Seeds from an already-paid probe (used by the combined monitor).
+  void begin_from_probe(SimContext& ctx, const ProbeInfo& info);
+
+  /// Handles one live violation. Returns false while the component keeps
+  /// witnessing F(t); returns true when L became empty (the caller must
+  /// recompute — OPT provably communicated).
+  bool handle_violation(SimContext& ctx, NodeId id, Value value, Violation side);
+
+  const OutputSet& output() const { return output_; }
+  Phase phase() const { return phase_; }
+  double lower() const { return l_; }
+  double upper() const { return u_; }
+  std::uint64_t violations_handled() const { return violations_; }
+
+  /// Phase predicate (P1), exposed for unit tests.
+  static bool p1_holds(double l, double u);
+
+ private:
+  void select_phase(SimContext& ctx);
+  double choose_separator() const;
+  void apply_filters(SimContext& ctx);
+
+  OutputSet output_;
+  std::vector<bool> in_output_;
+  double l_ = 0.0;   ///< current lower end of L
+  double u_ = 0.0;   ///< current upper end of L
+  double l0_ = 0.0;  ///< ℓ at phase A1 entry (base of the 2^(2^r) probes)
+  std::uint64_t r_ = 0;       ///< violations observed inside A1
+  bool left_a1_ = false;      ///< P1 is never re-entered once left
+  Phase phase_ = Phase::kA1;
+  double separator_ = 0.0;
+  std::uint64_t violations_ = 0;
+};
+
+class TopKProtocol final : public MonitoringProtocol {
+ public:
+  void start(SimContext& ctx) override;
+  void on_step(SimContext& ctx) override;
+  const OutputSet& output() const override { return core_.output(); }
+  std::string_view name() const override { return "topk_protocol"; }
+
+  const TopKComponent& core() const { return core_; }
+  /// Number of from-scratch computations (1 + #restarts); each restart
+  /// witnesses one forced OPT communication.
+  std::uint64_t phases() const { return phases_; }
+
+ private:
+  TopKComponent core_;
+  std::uint64_t phases_ = 0;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,65 @@
+#include "sim/comm_stats.hpp"
+
+#include <sstream>
+
+namespace topkmon {
+
+std::string to_string(MessageKind k) {
+  switch (k) {
+    case MessageKind::kNodeToServer: return "node->server";
+    case MessageKind::kServerToNode: return "server->node";
+    case MessageKind::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+std::string to_string(MessageTag t) {
+  switch (t) {
+    case MessageTag::kExistence: return "existence";
+    case MessageTag::kViolation: return "violation";
+    case MessageTag::kProbe: return "probe";
+    case MessageTag::kFilterBroadcast: return "filter-broadcast";
+    case MessageTag::kFilterUnicast: return "filter-unicast";
+    case MessageTag::kOther: return "other";
+  }
+  return "?";
+}
+
+void CommStats::count(MessageKind kind, MessageTag tag, std::uint64_t n) {
+  total_ += n;
+  kind_[static_cast<std::size_t>(kind)] += n;
+  tag_[static_cast<std::size_t>(tag)] += n;
+}
+
+void CommStats::begin_step() {
+  ++steps_;
+  rounds_this_step_ = 0;
+  total_at_step_start_ = total_;
+}
+
+void CommStats::add_rounds(std::uint64_t r) {
+  rounds_this_step_ += r;
+  total_rounds_ += r;
+  if (rounds_this_step_ > max_rounds_per_step_) {
+    max_rounds_per_step_ = rounds_this_step_;
+  }
+}
+
+void CommStats::reset() { *this = CommStats{}; }
+
+std::string CommStats::report() const {
+  std::ostringstream oss;
+  oss << "messages total=" << total_;
+  for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
+    oss << " " << to_string(static_cast<MessageKind>(k)) << "=" << kind_[k];
+  }
+  oss << "\n  by tag:";
+  for (std::size_t t = 0; t < kNumMessageTags; ++t) {
+    oss << " " << to_string(static_cast<MessageTag>(t)) << "=" << tag_[t];
+  }
+  oss << "\n  steps=" << steps_ << " max_rounds/step=" << max_rounds_per_step_
+      << " total_rounds=" << total_rounds_;
+  return oss.str();
+}
+
+}  // namespace topkmon

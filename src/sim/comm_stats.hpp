@@ -1,0 +1,73 @@
+// Message accounting — the cost measure of the continuous monitoring model.
+//
+// Every message crossing the (simulated) network is counted here with a kind
+// (direction) and a purpose tag. The paper's efficiency metric is the total
+// number of messages; tags exist so benches can attribute cost to protocol
+// phases (probing vs violation reporting vs filter redistribution).
+// Rounds are also tracked per time step to verify the polylog-round budget.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace topkmon {
+
+enum class MessageKind : std::uint8_t {
+  kNodeToServer = 0,
+  kServerToNode = 1,
+  kBroadcast = 2,
+};
+inline constexpr std::size_t kNumMessageKinds = 3;
+
+enum class MessageTag : std::uint8_t {
+  kExistence = 0,     ///< sends inside the EXISTENCE subprotocol
+  kViolation = 1,     ///< filter-violation reports
+  kProbe = 2,         ///< max/top-m sampling traffic
+  kFilterBroadcast = 3,  ///< broadcast separator / filter rule updates
+  kFilterUnicast = 4, ///< per-node role or filter assignments
+  kOther = 5,
+};
+inline constexpr std::size_t kNumMessageTags = 6;
+
+std::string to_string(MessageKind k);
+std::string to_string(MessageTag t);
+
+class CommStats {
+ public:
+  void count(MessageKind kind, MessageTag tag, std::uint64_t n = 1);
+
+  /// Called by the simulator at the start of each time step.
+  void begin_step();
+  /// Protocol-side: records `r` communication rounds consumed at this step.
+  void add_rounds(std::uint64_t r);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t by_kind(MessageKind k) const {
+    return kind_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t by_tag(MessageTag t) const { return tag_[static_cast<std::size_t>(t)]; }
+
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t rounds_this_step() const { return rounds_this_step_; }
+  std::uint64_t max_rounds_per_step() const { return max_rounds_per_step_; }
+  std::uint64_t total_rounds() const { return total_rounds_; }
+  std::uint64_t messages_this_step() const { return total_ - total_at_step_start_; }
+
+  void reset();
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+
+ private:
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kNumMessageKinds> kind_{};
+  std::array<std::uint64_t, kNumMessageTags> tag_{};
+  std::uint64_t steps_ = 0;
+  std::uint64_t rounds_this_step_ = 0;
+  std::uint64_t max_rounds_per_step_ = 0;
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t total_at_step_start_ = 0;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,108 @@
+#include "sim/context.hpp"
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+SimContext::SimContext(SimParams params, std::uint64_t protocol_seed)
+    : params_(params), rng_(Rng::derive(protocol_seed, /*stream_id=*/0xC0FFEE)) {
+  TOPKMON_ASSERT(params.n > 0);
+  TOPKMON_ASSERT(params.k >= 1 && params.k <= params.n);
+  TOPKMON_ASSERT(params.epsilon >= 0.0 && params.epsilon < 1.0);
+  nodes_.reserve(params.n);
+  for (NodeId i = 0; i < params.n; ++i) {
+    nodes_.emplace_back(i);
+  }
+}
+
+Value SimContext::report_value(NodeId i, MessageTag tag) {
+  TOPKMON_ASSERT(i < nodes_.size());
+  stats_.count(MessageKind::kNodeToServer, tag);
+  return nodes_[i].value();
+}
+
+void SimContext::unicast(NodeId i, MessageTag tag) {
+  TOPKMON_ASSERT(i < nodes_.size());
+  stats_.count(MessageKind::kServerToNode, tag);
+}
+
+void SimContext::set_filter_unicast(NodeId i, const Filter& f, MessageTag tag) {
+  TOPKMON_ASSERT(i < nodes_.size());
+  stats_.count(MessageKind::kServerToNode, tag);
+  nodes_[i].set_filter(f);
+}
+
+void SimContext::broadcast(MessageTag tag) {
+  stats_.count(MessageKind::kBroadcast, tag);
+}
+
+void SimContext::broadcast_filters(const std::function<Filter(const Node&)>& rule,
+                                   MessageTag tag) {
+  stats_.count(MessageKind::kBroadcast, tag);
+  for (auto& node : nodes_) {
+    node.set_filter(rule(node));
+  }
+}
+
+ExistenceResult SimContext::existence(const std::function<bool(const Node&)>& bit,
+                                      MessageTag tag) {
+  ExistenceResult res = ExistenceProtocol::run(
+      nodes_.size(), [&](NodeId i) { return bit(nodes_[i]); },
+      [&](NodeId i) { return nodes_[i].value(); }, rng_);
+  stats_.count(MessageKind::kNodeToServer, tag, res.messages);
+  stats_.add_rounds(res.rounds);
+  return res;
+}
+
+ExistenceResult SimContext::collect_violations() {
+  return existence([](const Node& node) { return node.violating(); },
+                   MessageTag::kViolation);
+}
+
+std::optional<SimContext::ProbeResult> SimContext::sample_max(
+    const std::function<bool(const Node&)>& pred) {
+  std::optional<ProbeResult> best;
+  for (;;) {
+    // Node-side bit: "I satisfy pred and I rank above the announced best".
+    auto res = existence(
+        [&](const Node& node) {
+          if (!pred(node)) return false;
+          if (!best) return true;
+          return ranks_above(node.value(), node.id(), best->value, best->id);
+        },
+        MessageTag::kProbe);
+    if (!res.any) break;
+    for (const auto& hit : res.senders) {
+      if (!best || ranks_above(hit.value, hit.id, best->value, best->id)) {
+        best = ProbeResult{hit.id, hit.value};
+      }
+    }
+    // Announce the improved threshold so nodes at or below it deactivate.
+    broadcast(MessageTag::kProbe);
+  }
+  return best;
+}
+
+std::vector<SimContext::ProbeResult> SimContext::probe_top(std::size_t m) {
+  std::vector<ProbeResult> out;
+  std::vector<bool> excluded(nodes_.size(), false);
+  for (std::size_t j = 0; j < m; ++j) {
+    auto r = sample_max([&](const Node& node) { return !excluded[node.id()]; });
+    if (!r) break;
+    excluded[r->id] = true;
+    out.push_back(*r);
+  }
+  return out;
+}
+
+void SimContext::advance_time(const ValueVector& values) {
+  TOPKMON_ASSERT(values.size() == nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    TOPKMON_ASSERT_MSG(values[i] <= kMaxObservableValue,
+                       "generator exceeded kMaxObservableValue");
+    nodes_[i].observe(values[i]);
+  }
+  ++time_;
+}
+
+}  // namespace topkmon

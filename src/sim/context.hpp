@@ -1,0 +1,117 @@
+// SimContext — the server's only window onto the distributed nodes.
+//
+// Protocol (server-side) code learns node values exclusively through the
+// accounted primitives below; each call books its messages with CommStats.
+// Node-side computation (a node evaluating a predicate on its *own* value,
+// checking its *own* filter) is free, as in the model of Cormode et al. that
+// the paper builds on. Generators and the strict validator may read
+// `nodes()` directly — they are the adversary and the referee, not the
+// algorithm.
+//
+// Primitives and their costs:
+//   report_value(i)      1 node→server message
+//   unicast/set_filter   1 server→node message
+//   broadcast(...)       1 broadcast message (all nodes receive)
+//   existence(bit)       Lemma 3.1 process, O(1) messages in expectation
+//   collect_violations() existence over "my filter is violated"
+//   sample_max(pred)     Lemma 2.6, O(log n) messages in expectation
+//   probe_top(m)         m × sample_max with exclusion, O(m log n)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/filter.hpp"
+#include "model/types.hpp"
+#include "protocols/existence.hpp"
+#include "sim/comm_stats.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+
+struct SimParams {
+  std::size_t n = 10;
+  std::size_t k = 3;
+  double epsilon = 0.1;
+};
+
+class SimContext {
+ public:
+  SimContext(SimParams params, std::uint64_t protocol_seed);
+
+  std::size_t n() const { return nodes_.size(); }
+  std::size_t k() const { return params_.k; }
+  double epsilon() const { return params_.epsilon; }
+  TimeStep time() const { return time_; }
+
+  /// Read-only node array (values + filters). For generators, validators and
+  /// node-side predicates; protocol server logic must use accounted calls.
+  std::span<const Node> nodes() const { return {nodes_.data(), nodes_.size()}; }
+
+  // ---- accounted primitives (server side) --------------------------------
+
+  /// Node i sends its current value to the server (1 message).
+  Value report_value(NodeId i, MessageTag tag = MessageTag::kProbe);
+
+  /// Server sends a control message to node i (1 message).
+  void unicast(NodeId i, MessageTag tag = MessageTag::kOther);
+
+  /// Server assigns a filter to a single node (1 server→node message).
+  void set_filter_unicast(NodeId i, const Filter& f,
+                          MessageTag tag = MessageTag::kFilterUnicast);
+
+  /// Server broadcasts a control value (1 message); no filter change.
+  void broadcast(MessageTag tag = MessageTag::kOther);
+
+  /// Server broadcasts a *rule*; every node derives its filter from it
+  /// locally (1 broadcast message total). The rule may depend only on
+  /// node-public state (its role previously communicated, its id).
+  void broadcast_filters(const std::function<Filter(const Node&)>& rule,
+                         MessageTag tag = MessageTag::kFilterBroadcast);
+
+  /// Lemma 3.1 EXISTENCE over the node-side predicate `bit`.
+  ExistenceResult existence(const std::function<bool(const Node&)>& bit,
+                            MessageTag tag = MessageTag::kExistence);
+
+  /// EXISTENCE over "node observes a filter violation" (Corollary 3.2).
+  /// Senders attach their value; the server additionally learns the
+  /// violation direction from the value vs the node's (server-known) filter.
+  ExistenceResult collect_violations();
+
+  struct ProbeResult {
+    NodeId id;
+    Value value;
+  };
+
+  /// Lemma 2.6: the node holding the maximum (value, id-tiebreak) among
+  /// nodes satisfying `pred`; nullopt if none. O(log n) messages expected.
+  std::optional<ProbeResult> sample_max(const std::function<bool(const Node&)>& pred);
+
+  /// Top-m nodes overall by repeated sample_max with exclusion; descending
+  /// rank order. O(m log n) messages expected.
+  std::vector<ProbeResult> probe_top(std::size_t m);
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+  Rng& rng() { return rng_; }
+
+  // ---- simulator plumbing -------------------------------------------------
+
+  /// Installs the observation vector for the next time step.
+  void advance_time(const ValueVector& values);
+
+  /// Direct filter write without accounting — simulator/test setup only.
+  void set_filter_free(NodeId i, const Filter& f) { nodes_[i].set_filter(f); }
+
+ private:
+  SimParams params_;
+  std::vector<Node> nodes_;
+  CommStats stats_;
+  Rng rng_;
+  TimeStep time_ = -1;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,3 @@
+#include "sim/node.hpp"
+
+// Node is header-only; this TU anchors the header for build hygiene checks.

@@ -1,0 +1,35 @@
+// A distributed node: current observation plus the server-assigned filter.
+//
+// Nodes evaluate their own filter locally (free, node-side computation);
+// everything the *server* learns about a node's value must travel through
+// the accounted primitives in SimContext.
+#pragma once
+
+#include "model/filter.hpp"
+#include "model/types.hpp"
+
+namespace topkmon {
+
+class Node {
+ public:
+  Node() = default;
+  explicit Node(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+  Value value() const { return value_; }
+  const Filter& filter() const { return filter_; }
+
+  void observe(Value v) { value_ = v; }
+  void set_filter(const Filter& f) { filter_ = f; }
+
+  /// Node-side check of the own filter.
+  Violation violation() const { return filter_.check(value_); }
+  bool violating() const { return violation() != Violation::kNone; }
+
+ private:
+  NodeId id_ = 0;
+  Value value_ = 0;
+  Filter filter_ = Filter::all();
+};
+
+}  // namespace topkmon

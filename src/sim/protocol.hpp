@@ -1,0 +1,31 @@
+// MonitoringProtocol — the online-algorithm interface.
+//
+// The simulator calls start() once after the t = 0 observations are in
+// place and on_step() for every subsequent step. On return from either, the
+// protocol must leave (a) a correct output F(t) (Sect. 2 definition, checked
+// by the oracle in strict mode), (b) a valid filter set (Obs. 2.2), and
+// (c) every node's value inside its filter — i.e. the per-step communication
+// protocol has run to quiescence.
+#pragma once
+
+#include <string_view>
+
+#include "model/types.hpp"
+#include "sim/context.hpp"
+
+namespace topkmon {
+
+class MonitoringProtocol {
+ public:
+  virtual ~MonitoringProtocol() = default;
+
+  virtual void start(SimContext& ctx) = 0;
+  virtual void on_step(SimContext& ctx) = 0;
+
+  /// The server's current output F(t); size k.
+  virtual const OutputSet& output() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace topkmon

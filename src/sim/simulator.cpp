@@ -1,0 +1,98 @@
+#include "sim/simulator.hpp"
+
+#include "model/oracle.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace topkmon {
+
+Simulator::Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
+                     std::unique_ptr<MonitoringProtocol> protocol)
+    : cfg_(cfg),
+      gen_(std::move(gen)),
+      protocol_(std::move(protocol)),
+      ctx_(SimParams{gen_ ? gen_->n() : 0, cfg.k, cfg.epsilon}, cfg.seed),
+      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)) {
+  TOPKMON_ASSERT(gen_ != nullptr);
+  TOPKMON_ASSERT(protocol_ != nullptr);
+  scratch_values_.resize(gen_->n());
+}
+
+void Simulator::step() {
+  ctx_.stats().begin_step();
+  if (next_t_ == 0) {
+    gen_->init(scratch_values_, gen_rng_);
+  } else {
+    const AdversaryView view{ctx_.nodes(), &protocol_->output(), cfg_.k, cfg_.epsilon};
+    gen_->step(next_t_, view, scratch_values_, gen_rng_);
+  }
+  ctx_.advance_time(scratch_values_);
+
+  if (next_t_ == 0) {
+    protocol_->start(ctx_);
+  } else {
+    protocol_->on_step(ctx_);
+  }
+
+  const std::size_t sigma = Oracle::sigma(scratch_values_, cfg_.k, cfg_.epsilon);
+  max_sigma_ = std::max(max_sigma_, sigma);
+  if (cfg_.record_history) {
+    history_.push_back(scratch_values_);
+  }
+  if (cfg_.strict) {
+    validate_strict();
+  }
+  ++next_t_;
+}
+
+void Simulator::validate_strict() const {
+  const auto values = scratch_values_;
+  const auto& out = protocol_->output();
+  const std::string why = Oracle::explain_invalid(values, cfg_.k, cfg_.epsilon, out);
+  TOPKMON_ASSERT_MSG(why.empty(), ("output invalid at t=" + std::to_string(next_t_) +
+                                   " [" + std::string(protocol_->name()) + "]: " + why)
+                                      .c_str());
+
+  std::vector<Filter> filters;
+  filters.reserve(ctx_.n());
+  for (const auto& node : ctx_.nodes()) {
+    filters.push_back(node.filter());
+  }
+  TOPKMON_ASSERT_MSG(
+      filters_valid(std::span<const Filter>(filters.data(), filters.size()), out,
+                    cfg_.epsilon),
+      ("filter set invalid (Obs. 2.2) at t=" + std::to_string(next_t_)).c_str());
+  TOPKMON_ASSERT_MSG(
+      all_within(std::span<const Filter>(filters.data(), filters.size()),
+                 std::span<const Value>(values.data(), values.size())),
+      ("protocol left unresolved filter violations at t=" + std::to_string(next_t_))
+          .c_str());
+}
+
+RunResult Simulator::run(TimeStep steps) {
+  for (TimeStep i = 0; i < steps; ++i) {
+    step();
+  }
+  return result();
+}
+
+RunResult Simulator::result() const {
+  RunResult r;
+  const auto& s = ctx_.stats();
+  r.messages = s.total();
+  r.node_to_server = s.by_kind(MessageKind::kNodeToServer);
+  r.server_to_node = s.by_kind(MessageKind::kServerToNode);
+  r.broadcasts = s.by_kind(MessageKind::kBroadcast);
+  for (std::size_t t = 0; t < kNumMessageTags; ++t) {
+    r.by_tag[t] = s.by_tag(static_cast<MessageTag>(t));
+  }
+  r.steps = s.steps();
+  r.max_rounds_per_step = s.max_rounds_per_step();
+  r.max_sigma = max_sigma_;
+  r.messages_per_step =
+      r.steps == 0 ? 0.0
+                   : static_cast<double>(r.messages) / static_cast<double>(r.steps);
+  return r;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,80 @@
+// Simulator — drives generator → protocol → validation per time step.
+//
+// Strict mode re-checks after every step that the protocol upheld its
+// contract (output correctness via the Oracle, filter validity via
+// Observation 2.2, quiescence). History recording retains the full value
+// matrix so the offline OPT (src/offline) can be evaluated on exactly the
+// stream the online algorithm saw — required because adaptive adversaries
+// make the stream depend on the algorithm's randomness.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/protocol.hpp"
+#include "sim/stream.hpp"
+
+namespace topkmon {
+
+struct SimConfig {
+  std::size_t k = 3;
+  double epsilon = 0.1;
+  std::uint64_t seed = 1;
+  bool strict = false;          ///< validate output/filters after every step
+  bool record_history = false;  ///< keep the n×T value matrix for offline OPT
+};
+
+struct RunResult {
+  std::uint64_t messages = 0;
+  std::uint64_t node_to_server = 0;
+  std::uint64_t server_to_node = 0;
+  std::uint64_t broadcasts = 0;
+  std::array<std::uint64_t, kNumMessageTags> by_tag{};
+  std::uint64_t steps = 0;
+  std::uint64_t max_rounds_per_step = 0;
+  std::size_t max_sigma = 0;
+  double messages_per_step = 0.0;
+};
+
+class Simulator {
+ public:
+  Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
+            std::unique_ptr<MonitoringProtocol> protocol);
+
+  /// Advances one time step (t = 0 on the first call).
+  void step();
+
+  /// Runs `steps` time steps and returns aggregate statistics.
+  RunResult run(TimeStep steps);
+
+  /// Aggregate statistics for everything executed so far.
+  RunResult result() const;
+
+  SimContext& context() { return ctx_; }
+  const SimContext& context() const { return ctx_; }
+  MonitoringProtocol& protocol() { return *protocol_; }
+  const StreamGenerator& generator() const { return *gen_; }
+
+  /// Recorded observation history (empty unless cfg.record_history).
+  const std::vector<ValueVector>& history() const { return history_; }
+
+  std::size_t max_sigma() const { return max_sigma_; }
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  void validate_strict() const;
+
+  SimConfig cfg_;
+  std::unique_ptr<StreamGenerator> gen_;
+  std::unique_ptr<MonitoringProtocol> protocol_;
+  SimContext ctx_;
+  Rng gen_rng_;
+  ValueVector scratch_values_;
+  std::vector<ValueVector> history_;
+  std::size_t max_sigma_ = 0;
+  TimeStep next_t_ = 0;
+};
+
+}  // namespace topkmon

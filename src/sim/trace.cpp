@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace topkmon {
+
+void Trace::emit(TimeStep t, std::string category, std::string detail) {
+  if (!enabled()) return;
+  events_.push_back(TraceEvent{t, std::move(category), std::move(detail)});
+  trim();
+}
+
+void Trace::trim() {
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+std::vector<std::string> Trace::render() const {
+  std::vector<std::string> out;
+  out.reserve(events_.size());
+  for (const auto& e : events_) {
+    std::ostringstream oss;
+    oss << "t=" << e.time << " [" << e.category << "] " << e.detail;
+    out.push_back(oss.str());
+  }
+  return out;
+}
+
+Trace& Trace::global() {
+  static Trace trace;
+  return trace;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,46 @@
+// Bounded event trace for debugging and the example binaries.
+//
+// Protocols may emit trace events (phase changes, violations handled,
+// interval updates); the trace keeps the most recent `capacity` events.
+// Disabled (capacity 0) it is a no-op with negligible cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+struct TraceEvent {
+  TimeStep time = 0;
+  std::string category;  ///< e.g. "phase", "violation", "interval"
+  std::string detail;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; trim(); }
+  bool enabled() const { return capacity_ > 0; }
+
+  void emit(TimeStep t, std::string category, std::string detail);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::vector<std::string> render() const;
+  void clear() { events_.clear(); }
+
+  /// Process-global trace used by protocols (examples switch it on).
+  static Trace& global();
+
+ private:
+  void trim();
+
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,87 @@
+#include "streams/lb_adversary.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+LbAdversaryStream::LbAdversaryStream(LbAdversaryConfig cfg) : cfg_(cfg) {
+  TOPKMON_ASSERT(cfg_.k >= 1);
+  TOPKMON_ASSERT(cfg_.sigma > cfg_.k);
+  TOPKMON_ASSERT(cfg_.sigma <= cfg_.n);
+  TOPKMON_ASSERT(cfg_.epsilon > 0.0 && cfg_.epsilon < 1.0);
+  TOPKMON_ASSERT(cfg_.y0 >= 16 && cfg_.y0 <= kMaxObservableValue);
+  // Strictly below (1−ε)·y0, with slack for any ε′ < 1 the offline uses.
+  y1_floor_ = static_cast<Value>(
+      std::floor((1.0 - cfg_.epsilon) * static_cast<double>(cfg_.y0) / 4.0));
+}
+
+void LbAdversaryStream::reset_phase(ValueVector& out) {
+  for (std::size_t i = 0; i < cfg_.sigma; ++i) {
+    out[i] = cfg_.y0;
+  }
+  // Non-candidates: fixed, clearly below everything relevant, distinct.
+  for (std::size_t i = cfg_.sigma; i < cfg_.n; ++i) {
+    out[i] = y1_floor_ / 2 + (i - cfg_.sigma);
+  }
+  drops_in_phase_ = 0;
+}
+
+void LbAdversaryStream::init(ValueVector& out, Rng&) { reset_phase(out); }
+
+void LbAdversaryStream::step(TimeStep, const AdversaryView& view, ValueVector& out,
+                             Rng&) {
+  if (drops_in_phase_ >= cfg_.sigma - cfg_.k) {
+    // Phase complete: restore all candidates and start over (Thm. 5.1's
+    // "the input stream can be extended to an arbitrary length").
+    ++phases_;
+    reset_phase(out);
+    return;
+  }
+  // Pick a candidate still at y0 that is currently in the online output;
+  // among those prefer the one whose filter has the highest lower bound
+  // (guarantees the drop violates the filter). While more than k candidates
+  // remain at y0, the output must contain at least one of them — all other
+  // nodes are clearly smaller — so a victim always exists for any *correct*
+  // online algorithm.
+  const OutputSet& output = *view.output;
+  NodeId victim = cfg_.n;  // sentinel
+  double best_lo = -1.0;
+  for (NodeId id : output) {
+    if (id < cfg_.sigma && out[id] == cfg_.y0) {
+      const double lo = view.nodes[id].filter().lo;
+      if (lo > best_lo) {
+        best_lo = lo;
+        victim = id;
+      }
+    }
+  }
+  if (victim == cfg_.n) {
+    // The online algorithm's output is incorrect (or k candidates left);
+    // drop any candidate still at y0 — correctness validation will flag the
+    // former case in strict mode.
+    for (NodeId i = 0; i < cfg_.sigma; ++i) {
+      if (out[i] == cfg_.y0) {
+        victim = i;
+        break;
+      }
+    }
+    TOPKMON_ASSERT(victim != cfg_.n);
+  }
+  // y1: below (1−ε)y0 *and* below the victim's filter lower bound.
+  Value y1 = y1_floor_;
+  const double lo = view.nodes[victim].filter().lo;
+  if (lo > 1.0 && static_cast<double>(y1) >= lo) {
+    y1 = static_cast<Value>(std::floor(lo - 1.0));
+  }
+  out[victim] = y1;
+  ++drops_in_phase_;
+  ++drops_total_;
+}
+
+std::unique_ptr<StreamGenerator> LbAdversaryStream::clone() const {
+  return std::make_unique<LbAdversaryStream>(cfg_);
+}
+
+}  // namespace topkmon

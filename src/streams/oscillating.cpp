@@ -1,0 +1,99 @@
+#include "streams/oscillating.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+OscillatingStream::OscillatingStream(OscillatingConfig cfg) : cfg_(cfg) {
+  TOPKMON_ASSERT(cfg_.n > 0);
+  TOPKMON_ASSERT(cfg_.k >= 1 && cfg_.k <= cfg_.n);
+  TOPKMON_ASSERT(cfg_.sigma >= 1);
+  TOPKMON_ASSERT(cfg_.epsilon > 0.0 && cfg_.epsilon < 1.0);
+  TOPKMON_ASSERT(cfg_.drift >= 0.0 && cfg_.drift <= 0.25);
+  // Layout: [0, high_) anchors, [high_, high_+sigma) oscillators, rest low.
+  if (cfg_.sigma >= cfg_.k) {
+    high_ = 0;
+  } else {
+    high_ = cfg_.k - (cfg_.sigma + 1) / 2;
+  }
+  TOPKMON_ASSERT_MSG(high_ + cfg_.sigma <= cfg_.n,
+                     "n too small for requested sigma/k layout");
+  TOPKMON_ASSERT(high_ < cfg_.k && cfg_.k <= high_ + cfg_.sigma);
+
+  band_floor_ = std::max<Value>(16, cfg_.band_top / 2);
+  set_band(cfg_.band_top);
+  TOPKMON_ASSERT_MSG(band_lo_ < cfg_.band_top, "epsilon too small for band_top");
+
+  // Anchors: clearly larger than any possible v_k (≤ band_top): need
+  // (1−ε)·high > band_top, with margin ×4. Lows: clearly smaller than any
+  // possible v_k (≥ (1−ε)·band_floor), with margin /4.
+  high_base_ = static_cast<Value>(
+      std::ceil(4.0 * static_cast<double>(cfg_.band_top) / (1.0 - cfg_.epsilon)));
+  TOPKMON_ASSERT(high_base_ + cfg_.n <= kMaxObservableValue);
+  const double min_band_lo = (1.0 - cfg_.epsilon) * static_cast<double>(band_floor_);
+  low_top_ = static_cast<Value>(
+      std::floor((1.0 - cfg_.epsilon) * min_band_lo / 4.0));
+}
+
+void OscillatingStream::set_band(Value top) {
+  band_top_cur_ = top;
+  band_lo_ = static_cast<Value>(
+      std::ceil((1.0 - cfg_.epsilon) * static_cast<double>(top)));
+  if (band_lo_ >= band_top_cur_) {
+    band_lo_ = band_top_cur_ - 1;
+  }
+}
+
+Value OscillatingStream::draw_oscillator(Rng& rng) const {
+  return rng.uniform_u64(band_lo_, band_top_cur_);
+}
+
+void OscillatingStream::init(ValueVector& out, Rng& rng) {
+  set_band(cfg_.band_top);
+  for (std::size_t i = 0; i < high_; ++i) {
+    out[i] = high_base_ + i;  // distinct, clearly larger
+  }
+  for (std::size_t i = high_; i < high_ + cfg_.sigma; ++i) {
+    out[i] = draw_oscillator(rng);
+  }
+  for (std::size_t i = high_ + cfg_.sigma; i < cfg_.n; ++i) {
+    out[i] = rng.uniform_u64(0, low_top_);
+  }
+}
+
+void OscillatingStream::step(TimeStep, const AdversaryView&, ValueVector& out,
+                             Rng& rng) {
+  if (cfg_.drift > 0.0) {
+    const auto max_move = static_cast<Value>(
+        std::max(1.0, cfg_.drift * static_cast<double>(cfg_.band_top)));
+    const Value move = rng.uniform_u64(0, max_move);
+    Value top = band_top_cur_;
+    if (rng.bernoulli(0.5)) {
+      top = (cfg_.band_top - top >= move) ? top + move : cfg_.band_top;
+    } else {
+      top = (top >= band_floor_ + move) ? top - move : band_floor_;
+    }
+    set_band(top);
+    // Keep every oscillator inside the moved band (σ exactness).
+    for (std::size_t i = high_; i < high_ + cfg_.sigma; ++i) {
+      out[i] = std::clamp(out[i], band_lo_, band_top_cur_);
+    }
+  }
+  for (std::size_t i = high_; i < high_ + cfg_.sigma; ++i) {
+    if (rng.bernoulli(cfg_.churn)) {
+      out[i] = draw_oscillator(rng);
+    }
+  }
+  // Anchors and lows stay put: all churn is concentrated in the
+  // ε-neighborhood, the worst case for exact monitors and the best case
+  // for approximate ones.
+}
+
+std::unique_ptr<StreamGenerator> OscillatingStream::clone() const {
+  return std::make_unique<OscillatingStream>(cfg_);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,57 @@
+#include "streams/phase_torture.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+PhaseTortureStream::PhaseTortureStream(PhaseTortureConfig cfg) : cfg_(cfg) {
+  TOPKMON_ASSERT(cfg_.k >= 1);
+  TOPKMON_ASSERT(cfg_.n >= cfg_.k + 2);  // anchors + climber + >=1 low node
+  TOPKMON_ASSERT(cfg_.climber_start >= 2);
+  TOPKMON_ASSERT(cfg_.top > 64 * cfg_.climber_start);
+  TOPKMON_ASSERT(cfg_.top + cfg_.k <= kMaxObservableValue);
+  anchor_lo_ = cfg_.top;
+}
+
+void PhaseTortureStream::init(ValueVector& out, Rng&) {
+  for (std::size_t i = 0; i < cfg_.k; ++i) {
+    out[i] = cfg_.top + (cfg_.k - i);  // distinct anchors; lowest is cfg_.top + 1
+  }
+  anchor_lo_ = cfg_.top + 1;
+  out[cfg_.k] = cfg_.climber_start;
+  for (std::size_t i = cfg_.k + 1; i < cfg_.n; ++i) {
+    out[i] = 1 + (i - cfg_.k - 1) % 2;  // static noise floor
+  }
+  crossed_ = false;
+}
+
+void PhaseTortureStream::step(TimeStep, const AdversaryView& view, ValueVector& out,
+                              Rng&) {
+  const NodeId climber = static_cast<NodeId>(cfg_.k);
+  if (crossed_) {
+    // Reset for the next macro-phase.
+    out[climber] = cfg_.climber_start;
+    crossed_ = false;
+    ++phases_;
+    return;
+  }
+  const double hi = view.nodes[climber].filter().hi;
+  if (!std::isfinite(hi) ||
+      hi + 1.0 >= static_cast<double>(anchor_lo_)) {
+    // Chasing the filter further would pass the anchors: jump across, which
+    // empties the protocol's interval L and forces offline communication.
+    out[climber] = anchor_lo_ + cfg_.k + 7;  // strictly above every anchor
+    crossed_ = true;
+    return;
+  }
+  // Violate from below: one past the filter's upper bound.
+  out[climber] = static_cast<Value>(std::floor(hi)) + 1;
+}
+
+std::unique_ptr<StreamGenerator> PhaseTortureStream::clone() const {
+  return std::make_unique<PhaseTortureStream>(cfg_);
+}
+
+}  // namespace topkmon

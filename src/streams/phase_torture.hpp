@@ -1,0 +1,50 @@
+// Phase-torture adversary for TOP-K-PROTOCOL (Sect. 4).
+//
+// Layout: nodes 0..k−1 hold large, stable anchor values near `top`; node k
+// is the *climber*; the rest sit at tiny values. The climber starts far
+// below the anchors (so log log u − log log ℓ is large → phase P1) and then
+// *chases its own filter*: every step it observes its current filter's
+// upper bound + 1, violating from below. This forces the maximal number of
+// interval updates through P1 (doubly-exponential probes), P2 (geometric
+// midpoint), and P3 (arithmetic midpoint). Once the climber's value would
+// cross the anchor region it jumps above the lowest anchor — terminating
+// the protocol (L = ∅) and forcing *any* offline algorithm (even exact) to
+// communicate — then resets. Each macro-phase therefore costs the online
+// algorithm Θ(log log Δ + log 1/ε) violations versus O(1) offline phases:
+// exactly the Theorem 4.5 regime.
+#pragma once
+
+#include "sim/stream.hpp"
+
+namespace topkmon {
+
+struct PhaseTortureConfig {
+  std::size_t n = 8;
+  std::size_t k = 2;
+  Value top = Value{1} << 32;  ///< anchor scale (≈ Δ)
+  Value climber_start = 4;     ///< initial climber value (≪ top)
+};
+
+class PhaseTortureStream final : public StreamGenerator {
+ public:
+  explicit PhaseTortureStream(PhaseTortureConfig cfg);
+
+  const PhaseTortureConfig& config() const { return cfg_; }
+
+  std::size_t n() const override { return cfg_.n; }
+  void init(ValueVector& out, Rng& rng) override;
+  void step(TimeStep t, const AdversaryView& view, ValueVector& out, Rng& rng) override;
+  std::string_view name() const override { return "phase_torture"; }
+  std::unique_ptr<StreamGenerator> clone() const override;
+
+  /// Completed climb→cross→reset macro-phases.
+  std::uint64_t macro_phases() const { return phases_; }
+
+ private:
+  PhaseTortureConfig cfg_;
+  Value anchor_lo_ = 0;  ///< lowest anchor value
+  bool crossed_ = false; ///< climber is above anchor_lo_, reset next step
+  std::uint64_t phases_ = 0;
+};
+
+}  // namespace topkmon

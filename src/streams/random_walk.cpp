@@ -1,0 +1,52 @@
+#include "streams/random_walk.hpp"
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+RandomWalkStream::RandomWalkStream(RandomWalkConfig cfg) : cfg_(cfg) {
+  TOPKMON_ASSERT(cfg_.n > 0);
+  TOPKMON_ASSERT(cfg_.lo <= cfg_.hi);
+  TOPKMON_ASSERT(cfg_.hi <= kMaxObservableValue);
+  TOPKMON_ASSERT(cfg_.max_step >= 1);
+  TOPKMON_ASSERT(cfg_.laziness >= 0.0 && cfg_.laziness <= 1.0);
+}
+
+void RandomWalkStream::init(ValueVector& out, Rng& rng) {
+  if (cfg_.spread_init) {
+    const double span = static_cast<double>(cfg_.hi - cfg_.lo);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = cfg_.lo + static_cast<Value>(span * (static_cast<double>(i) + 0.5) /
+                                            static_cast<double>(out.size()));
+    }
+  } else {
+    for (auto& v : out) {
+      v = rng.uniform_u64(cfg_.lo, cfg_.hi);
+    }
+  }
+}
+
+void RandomWalkStream::step(TimeStep, const AdversaryView&, ValueVector& out,
+                            Rng& rng) {
+  for (auto& v : out) {
+    if (rng.bernoulli(cfg_.laziness)) continue;
+    const Value delta = rng.uniform_u64(1, cfg_.max_step);
+    if (rng.bernoulli(0.5)) {
+      // Move up, reflect at hi.
+      const Value headroom = cfg_.hi - v;
+      v = (delta <= headroom) ? v + delta : cfg_.hi - (delta - headroom);
+    } else {
+      // Move down, reflect at lo.
+      const Value room = v - cfg_.lo;
+      v = (delta <= room) ? v - delta : cfg_.lo + (delta - room);
+    }
+    if (v < cfg_.lo) v = cfg_.lo;
+    if (v > cfg_.hi) v = cfg_.hi;
+  }
+}
+
+std::unique_ptr<StreamGenerator> RandomWalkStream::clone() const {
+  return std::make_unique<RandomWalkStream>(cfg_);
+}
+
+}  // namespace topkmon

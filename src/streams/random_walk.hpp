@@ -1,0 +1,37 @@
+// Reflected lazy random walk per node — the regime the filter technique is
+// designed for: values at time t+1 are "similar" to time t.
+//
+// Each step a node stays put with probability `laziness`, otherwise moves by
+// a uniform step in [1, max_step], up or down, reflected into [lo, hi].
+#pragma once
+
+#include "sim/stream.hpp"
+
+namespace topkmon {
+
+struct RandomWalkConfig {
+  std::size_t n = 10;
+  Value lo = 0;
+  Value hi = 1 << 20;
+  Value max_step = 64;
+  double laziness = 0.25;
+  /// If true, initial values are spread evenly over [lo, hi] (deterministic
+  /// ranks at t = 0); otherwise uniform at random.
+  bool spread_init = false;
+};
+
+class RandomWalkStream final : public StreamGenerator {
+ public:
+  explicit RandomWalkStream(RandomWalkConfig cfg);
+
+  std::size_t n() const override { return cfg_.n; }
+  void init(ValueVector& out, Rng& rng) override;
+  void step(TimeStep t, const AdversaryView& view, ValueVector& out, Rng& rng) override;
+  std::string_view name() const override { return "random_walk"; }
+  std::unique_ptr<StreamGenerator> clone() const override;
+
+ private:
+  RandomWalkConfig cfg_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,35 @@
+// Name-based stream factory for CLI tools and benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stream.hpp"
+
+namespace topkmon {
+
+/// Shared knobs; each generator maps these onto its own config. Fields that
+/// a generator does not use are ignored.
+struct StreamSpec {
+  std::string kind = "random_walk";
+  std::size_t n = 16;
+  std::size_t k = 3;
+  double epsilon = 0.1;
+  Value delta = 1 << 20;   ///< value scale (Δ)
+  std::size_t sigma = 8;   ///< neighborhood size for dense/adversary kinds
+  Value walk_step = 64;    ///< random-walk step size
+  double churn = 1.0;      ///< oscillator churn fraction
+  double drift = 0.0;      ///< oscillating band drift fraction per step
+  std::string trace_path;  ///< for kind == "trace_file"
+};
+
+/// Constructs the generator named by `spec.kind`; throws std::runtime_error
+/// for unknown kinds. Known kinds: uniform, random_walk, oscillating,
+/// zipf_bursty, sine_noise, lb_adversary, phase_torture, trace_file.
+std::unique_ptr<StreamGenerator> make_stream(const StreamSpec& spec);
+
+/// All registered kind names (for --help output and matrix tests).
+std::vector<std::string> stream_kinds();
+
+}  // namespace topkmon

@@ -1,0 +1,51 @@
+#include "streams/sine_noise.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+SineNoiseStream::SineNoiseStream(SineNoiseConfig cfg) : cfg_(cfg) {
+  TOPKMON_ASSERT(cfg_.n > 0);
+  TOPKMON_ASSERT(cfg_.period > 1.0);
+  TOPKMON_ASSERT(cfg_.amplitude + cfg_.noise <= cfg_.mid);
+  TOPKMON_ASSERT(cfg_.mid + cfg_.amplitude + cfg_.noise <= kMaxObservableValue);
+}
+
+Value SineNoiseStream::sample(std::size_t i, TimeStep t, Rng& rng) const {
+  // Evenly spread phases keep node curves crossing each other regularly.
+  const double phase =
+      kTwoPi * static_cast<double>(i) / static_cast<double>(cfg_.n);
+  const double base =
+      static_cast<double>(cfg_.mid) +
+      static_cast<double>(cfg_.amplitude) *
+          std::sin(kTwoPi * static_cast<double>(t) / cfg_.period + phase);
+  const double jitter =
+      (2.0 * rng.uniform01() - 1.0) * static_cast<double>(cfg_.noise);
+  const double v = std::max(0.0, base + jitter);
+  return static_cast<Value>(std::llround(v));
+}
+
+void SineNoiseStream::init(ValueVector& out, Rng& rng) {
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    out[i] = sample(i, 0, rng);
+  }
+}
+
+void SineNoiseStream::step(TimeStep t, const AdversaryView&, ValueVector& out,
+                           Rng& rng) {
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    out[i] = sample(i, t, rng);
+  }
+}
+
+std::unique_ptr<StreamGenerator> SineNoiseStream::clone() const {
+  return std::make_unique<SineNoiseStream>(cfg_);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,35 @@
+// Sensor-fleet workload: slow per-node sinusoidal drift plus bounded noise.
+//
+// Models the introduction's "marginal changes due to noise" scenario: ranks
+// change slowly (period >> 1) but raw values jitter every step.
+#pragma once
+
+#include "sim/stream.hpp"
+
+namespace topkmon {
+
+struct SineNoiseConfig {
+  std::size_t n = 16;
+  Value mid = 1 << 15;       ///< center of all sinusoids
+  Value amplitude = 1 << 13; ///< per-node amplitude
+  double period = 512.0;     ///< steps per full cycle
+  Value noise = 64;          ///< uniform noise in [-noise, +noise]
+};
+
+class SineNoiseStream final : public StreamGenerator {
+ public:
+  explicit SineNoiseStream(SineNoiseConfig cfg);
+
+  std::size_t n() const override { return cfg_.n; }
+  void init(ValueVector& out, Rng& rng) override;
+  void step(TimeStep t, const AdversaryView& view, ValueVector& out, Rng& rng) override;
+  std::string_view name() const override { return "sine_noise"; }
+  std::unique_ptr<StreamGenerator> clone() const override;
+
+ private:
+  Value sample(std::size_t i, TimeStep t, Rng& rng) const;
+
+  SineNoiseConfig cfg_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,88 @@
+#include "streams/trace_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+std::vector<ValueVector> parse_trace_csv(const std::string& content) {
+  std::vector<ValueVector> rows;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ValueVector row;
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) {
+      try {
+        row.push_back(static_cast<Value>(std::stoull(cell)));
+      } catch (const std::exception&) {
+        throw std::runtime_error("trace CSV: bad cell '" + cell + "'");
+      }
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      throw std::runtime_error("trace CSV: inconsistent row width");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    throw std::runtime_error("trace CSV: no rows");
+  }
+  return rows;
+}
+
+TraceFileStream::TraceFileStream(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("trace CSV: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  rows_ = parse_trace_csv(buf.str());
+}
+
+TraceFileStream::TraceFileStream(std::vector<ValueVector> rows)
+    : rows_(std::move(rows)) {
+  TOPKMON_ASSERT(!rows_.empty());
+  for (const auto& r : rows_) {
+    TOPKMON_ASSERT(r.size() == rows_.front().size());
+  }
+}
+
+std::size_t TraceFileStream::n() const { return rows_.front().size(); }
+
+void TraceFileStream::init(ValueVector& out, Rng&) {
+  cursor_ = 0;
+  out = rows_[0];
+}
+
+void TraceFileStream::step(TimeStep, const AdversaryView&, ValueVector& out, Rng&) {
+  if (cursor_ + 1 < rows_.size()) {
+    ++cursor_;
+  }
+  out = rows_[cursor_];
+}
+
+std::unique_ptr<StreamGenerator> TraceFileStream::clone() const {
+  auto copy = std::make_unique<TraceFileStream>(rows_);
+  return copy;
+}
+
+void write_trace(const std::string& path, const std::vector<ValueVector>& rows) {
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("trace CSV: cannot write " + path);
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      f << row[i];
+      f << (i + 1 < row.size() ? ',' : '\n');
+    }
+  }
+}
+
+}  // namespace topkmon

@@ -1,0 +1,43 @@
+// CSV trace replay: one row per time step, one column per node.
+//
+// Rows are replayed in order; when the file is exhausted the last row
+// repeats (a stalled stream), keeping run lengths independent of trace
+// length. `write_trace` is the matching serializer so examples and tests
+// can round-trip value histories.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/stream.hpp"
+
+namespace topkmon {
+
+class TraceFileStream final : public StreamGenerator {
+ public:
+  /// Parses the CSV at `path`; throws std::runtime_error on malformed input.
+  explicit TraceFileStream(const std::string& path);
+
+  /// In-memory trace (used by tests and by generators that pre-render).
+  explicit TraceFileStream(std::vector<ValueVector> rows);
+
+  std::size_t n() const override;
+  void init(ValueVector& out, Rng& rng) override;
+  void step(TimeStep t, const AdversaryView& view, ValueVector& out, Rng& rng) override;
+  std::string_view name() const override { return "trace_file"; }
+  std::unique_ptr<StreamGenerator> clone() const override;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<ValueVector> rows_;
+  std::size_t cursor_ = 0;
+};
+
+/// Serializes a value history as CSV readable by TraceFileStream.
+void write_trace(const std::string& path, const std::vector<ValueVector>& rows);
+
+/// Parses CSV content (used internally; exposed for tests).
+std::vector<ValueVector> parse_trace_csv(const std::string& content);
+
+}  // namespace topkmon

@@ -1,0 +1,27 @@
+#include "streams/uniform.hpp"
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+UniformStream::UniformStream(UniformStreamConfig cfg) : cfg_(cfg) {
+  TOPKMON_ASSERT(cfg_.n > 0);
+  TOPKMON_ASSERT(cfg_.lo <= cfg_.hi);
+  TOPKMON_ASSERT(cfg_.hi <= kMaxObservableValue);
+}
+
+void UniformStream::init(ValueVector& out, Rng& rng) {
+  for (auto& v : out) {
+    v = rng.uniform_u64(cfg_.lo, cfg_.hi);
+  }
+}
+
+void UniformStream::step(TimeStep, const AdversaryView&, ValueVector& out, Rng& rng) {
+  init(out, rng);
+}
+
+std::unique_ptr<StreamGenerator> UniformStream::clone() const {
+  return std::make_unique<UniformStream>(cfg_);
+}
+
+}  // namespace topkmon

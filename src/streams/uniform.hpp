@@ -1,0 +1,29 @@
+// i.i.d. uniform values in [lo, hi] each step — the chaotic baseline where
+// filters help least (every step reshuffles ranks).
+#pragma once
+
+#include "sim/stream.hpp"
+
+namespace topkmon {
+
+struct UniformStreamConfig {
+  std::size_t n = 10;
+  Value lo = 0;
+  Value hi = 1 << 20;
+};
+
+class UniformStream final : public StreamGenerator {
+ public:
+  explicit UniformStream(UniformStreamConfig cfg);
+
+  std::size_t n() const override { return cfg_.n; }
+  void init(ValueVector& out, Rng& rng) override;
+  void step(TimeStep t, const AdversaryView& view, ValueVector& out, Rng& rng) override;
+  std::string_view name() const override { return "uniform"; }
+  std::unique_ptr<StreamGenerator> clone() const override;
+
+ private:
+  UniformStreamConfig cfg_;
+};
+
+}  // namespace topkmon

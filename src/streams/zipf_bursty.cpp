@@ -1,0 +1,54 @@
+#include "streams/zipf_bursty.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+ZipfBurstyStream::ZipfBurstyStream(ZipfBurstyConfig cfg) : cfg_(cfg) {
+  TOPKMON_ASSERT(cfg_.n > 0);
+  TOPKMON_ASSERT(cfg_.burst_factor >= 1.0);
+  TOPKMON_ASSERT(cfg_.burst_decay > 0.0 && cfg_.burst_decay <= 1.0);
+  base_.resize(cfg_.n);
+  boost_.assign(cfg_.n, 1.0);
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    // Rank i+1 in the Zipf law; node ids are *not* sorted by popularity in
+    // real clusters, but id order is irrelevant to the monitors.
+    base_[i] = static_cast<double>(cfg_.base_scale) /
+               std::pow(static_cast<double>(i + 1), cfg_.zipf_alpha);
+    if (base_[i] < 1.0) base_[i] = 1.0;
+  }
+}
+
+Value ZipfBurstyStream::observe(std::size_t i, Rng& rng) const {
+  const double noisy =
+      base_[i] * boost_[i] * (1.0 + cfg_.noise * (2.0 * rng.uniform01() - 1.0));
+  const double clamped = std::max(0.0, noisy);
+  return static_cast<Value>(std::llround(clamped));
+}
+
+void ZipfBurstyStream::init(ValueVector& out, Rng& rng) {
+  boost_.assign(cfg_.n, 1.0);
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    out[i] = observe(i, rng);
+  }
+}
+
+void ZipfBurstyStream::step(TimeStep, const AdversaryView&, ValueVector& out,
+                            Rng& rng) {
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    // Decay toward 1.0, then maybe start a new burst.
+    boost_[i] = 1.0 + (boost_[i] - 1.0) * cfg_.burst_decay;
+    if (rng.bernoulli(cfg_.burst_prob)) {
+      boost_[i] *= cfg_.burst_factor;
+    }
+    out[i] = observe(i, rng);
+  }
+}
+
+std::unique_ptr<StreamGenerator> ZipfBurstyStream::clone() const {
+  return std::make_unique<ZipfBurstyStream>(cfg_);
+}
+
+}  // namespace topkmon

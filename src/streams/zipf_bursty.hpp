@@ -1,0 +1,44 @@
+// Web-server load workload (the paper's motivating example: a load balancer
+// tracking the k most-loaded servers in a cluster).
+//
+// Each node has a Zipf-distributed base load (popularity skew). Bursts
+// arrive per node with probability `burst_prob` per step and multiply the
+// load by `burst_factor`, then decay geometrically. Observed load includes
+// multiplicative noise — small enough to stay within an ε-neighborhood, so
+// approximate monitors ignore it while exact monitors chase it.
+#pragma once
+
+#include "sim/stream.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+
+struct ZipfBurstyConfig {
+  std::size_t n = 32;
+  double zipf_alpha = 1.1;
+  Value base_scale = 1 << 16;  ///< load of the most popular node (pre-burst)
+  double burst_prob = 0.01;    ///< per node per step
+  double burst_factor = 4.0;   ///< multiplier at burst onset
+  double burst_decay = 0.9;    ///< per-step geometric decay toward 1.0
+  double noise = 0.02;         ///< ±2% multiplicative observation noise
+};
+
+class ZipfBurstyStream final : public StreamGenerator {
+ public:
+  explicit ZipfBurstyStream(ZipfBurstyConfig cfg);
+
+  std::size_t n() const override { return cfg_.n; }
+  void init(ValueVector& out, Rng& rng) override;
+  void step(TimeStep t, const AdversaryView& view, ValueVector& out, Rng& rng) override;
+  std::string_view name() const override { return "zipf_bursty"; }
+  std::unique_ptr<StreamGenerator> clone() const override;
+
+ private:
+  Value observe(std::size_t i, Rng& rng) const;
+
+  ZipfBurstyConfig cfg_;
+  std::vector<double> base_;   ///< per-node base load
+  std::vector<double> boost_;  ///< current burst multiplier (≥ 1)
+};
+
+}  // namespace topkmon

@@ -1,0 +1,34 @@
+// Lightweight always-on assertion macros for invariant checking.
+//
+// Unlike <cassert>, these stay active in release builds: the simulator's
+// correctness guarantees (filter validity, output validity) are part of the
+// reproduced claims and must never be silently skipped.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace topkmon::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "topkmon assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace topkmon::detail
+
+#define TOPKMON_ASSERT(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::topkmon::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+    }                                                                         \
+  } while (false)
+
+#define TOPKMON_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::topkmon::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,35 @@
+// Tiny CLI flag parser for examples and bench binaries.
+//
+// Supported syntax: --name=value, --name value, --flag (boolean true),
+// positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace topkmon {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, std::string def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  std::uint64_t get_uint(const std::string& name, std::uint64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,34 @@
+// Leveled stderr logger; default level Warn so library output stays quiet
+// in tests/benches unless explicitly raised (examples raise it to Info).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace topkmon {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-wide log level; not synchronized (set it before spawning threads).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define TOPKMON_LOG(level, expr)                                           \
+  do {                                                                     \
+    if (static_cast<int>(level) >= static_cast<int>(::topkmon::log_level())) { \
+      std::ostringstream topkmon_log_oss;                                  \
+      topkmon_log_oss << expr;                                             \
+      ::topkmon::detail::log_emit(level, topkmon_log_oss.str());           \
+    }                                                                      \
+  } while (false)
+
+#define TOPKMON_LOG_DEBUG(expr) TOPKMON_LOG(::topkmon::LogLevel::Debug, expr)
+#define TOPKMON_LOG_INFO(expr) TOPKMON_LOG(::topkmon::LogLevel::Info, expr)
+#define TOPKMON_LOG_WARN(expr) TOPKMON_LOG(::topkmon::LogLevel::Warn, expr)
+#define TOPKMON_LOG_ERROR(expr) TOPKMON_LOG(::topkmon::LogLevel::Error, expr)
+
+}  // namespace topkmon

@@ -1,0 +1,53 @@
+#include "util/math.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+int ilog2_floor(std::uint64_t x) {
+  TOPKMON_ASSERT(x != 0);
+  int r = 0;
+  while (x >>= 1) {
+    ++r;
+  }
+  return r;
+}
+
+int ilog2_ceil(std::uint64_t x) {
+  TOPKMON_ASSERT(x != 0);
+  const int f = ilog2_floor(x);
+  return ((x & (x - 1)) == 0) ? f : f + 1;
+}
+
+double log2_clamped(double x, double lo_clamp) {
+  return std::log2(x < lo_clamp ? lo_clamp : x);
+}
+
+double loglog2(double x) {
+  const double inner = std::log2(x < 2.0 ? 2.0 : x);  // >= 1
+  return std::log2(inner < 1.0 ? 1.0 : inner);        // >= 0
+}
+
+double pow2_saturated(double e, double cap) {
+  if (e >= 63.0) return cap;
+  const double v = std::exp2(e);
+  return v > cap ? cap : v;
+}
+
+double midpoint(double lo, double hi) { return lo + (hi - lo) * 0.5; }
+
+bool approx_equal(double a, double b, double tol) {
+  const double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= tol * scale;
+}
+
+std::uint64_t round_to_u64(double x) {
+  if (x <= 0.0) return 0;
+  constexpr double kMax = 9.223372036854775808e18;  // 2^63
+  if (x >= kMax) return static_cast<std::uint64_t>(1) << 63;
+  return static_cast<std::uint64_t>(std::llround(x));
+}
+
+}  // namespace topkmon

@@ -1,0 +1,40 @@
+// Integer/floating helpers used throughout the protocol implementations.
+//
+// The paper's phase predicates (P1)-(P4) of TOP-K-PROTOCOL are expressed in
+// terms of log log of observed values; these helpers pin down the exact,
+// clamped semantics we use (documented per function) so that the predicates
+// are total over the uint64 value domain including 0 and 1.
+#pragma once
+
+#include <cstdint>
+
+namespace topkmon {
+
+/// floor(log2(x)) for x >= 1; asserts on x == 0.
+int ilog2_floor(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1; asserts on x == 0. ilog2_ceil(1) == 0.
+int ilog2_ceil(std::uint64_t x);
+
+/// log2 clamped from below: log2(max(x, lo_clamp)). Total over x >= 0.
+double log2_clamped(double x, double lo_clamp = 1.0);
+
+/// The paper's "log log" with the convention used by phase predicate (P1):
+/// loglog2(x) = log2(max(1, log2(max(2, x)))), i.e. 0 for all x <= 4 and
+/// strictly increasing beyond. Total over the whole uint64 range.
+double loglog2(double x);
+
+/// 2^e saturated to `cap` (default 2^62) to avoid overflow in the A1
+/// doubly-exponential probing sequence l0 + 2^(2^r).
+double pow2_saturated(double e, double cap = 4.611686018427387904e18);
+
+/// Midpoint of [lo, hi] in doubles (no overflow).
+double midpoint(double lo, double hi);
+
+/// True iff |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// Round a double to the nearest uint64, clamped to [0, 2^63).
+std::uint64_t round_to_u64(double x);
+
+}  // namespace topkmon

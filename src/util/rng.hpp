@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through `Rng` (xoshiro256**), seeded
+// explicitly. Sweep harnesses derive per-cell generators with
+// `Rng::derive(seed, stream_id)` (splitmix64 mixing) so that experiment
+// tables are bit-identical across runs and machines, and cells can run on a
+// thread pool without sharing generator state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace topkmon {
+
+/// splitmix64 step; used for seeding and for deriving independent streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64 of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Independent generator for stream `stream_id` of a master `seed`.
+  static Rng derive(std::uint64_t seed, std::uint64_t stream_id);
+
+  std::uint64_t next_u64();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  std::uint64_t operator()() { return next_u64(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n) via Lemire rejection; requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless wrt pairs).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Geometric: number of failures before first success, success prob p>0.
+  std::uint64_t geometric(double p);
+
+  const std::array<std::uint64_t, 4>& state() const { return s_; }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Bounded Zipf(α) sampler over {1, .., n} using precomputed CDF.
+/// Intended for workload generation (web-server load skew).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Returns a rank in [1, n]; rank 1 is the most probable.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,75 @@
+#include "sim/comm_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(CommStats, CountsByKindAndTag) {
+  CommStats s;
+  s.count(MessageKind::kNodeToServer, MessageTag::kViolation, 3);
+  s.count(MessageKind::kBroadcast, MessageTag::kFilterBroadcast);
+  s.count(MessageKind::kServerToNode, MessageTag::kFilterUnicast, 2);
+  EXPECT_EQ(s.total(), 6u);
+  EXPECT_EQ(s.by_kind(MessageKind::kNodeToServer), 3u);
+  EXPECT_EQ(s.by_kind(MessageKind::kBroadcast), 1u);
+  EXPECT_EQ(s.by_kind(MessageKind::kServerToNode), 2u);
+  EXPECT_EQ(s.by_tag(MessageTag::kViolation), 3u);
+  EXPECT_EQ(s.by_tag(MessageTag::kFilterBroadcast), 1u);
+  EXPECT_EQ(s.by_tag(MessageTag::kFilterUnicast), 2u);
+  EXPECT_EQ(s.by_tag(MessageTag::kExistence), 0u);
+}
+
+TEST(CommStats, RoundTracking) {
+  CommStats s;
+  s.begin_step();
+  s.add_rounds(4);
+  s.add_rounds(3);
+  EXPECT_EQ(s.rounds_this_step(), 7u);
+  EXPECT_EQ(s.max_rounds_per_step(), 7u);
+  s.begin_step();
+  s.add_rounds(2);
+  EXPECT_EQ(s.rounds_this_step(), 2u);
+  EXPECT_EQ(s.max_rounds_per_step(), 7u);
+  EXPECT_EQ(s.total_rounds(), 9u);
+  EXPECT_EQ(s.steps(), 2u);
+}
+
+TEST(CommStats, MessagesThisStep) {
+  CommStats s;
+  s.begin_step();
+  s.count(MessageKind::kBroadcast, MessageTag::kOther, 5);
+  EXPECT_EQ(s.messages_this_step(), 5u);
+  s.begin_step();
+  EXPECT_EQ(s.messages_this_step(), 0u);
+  s.count(MessageKind::kBroadcast, MessageTag::kOther, 2);
+  EXPECT_EQ(s.messages_this_step(), 2u);
+  EXPECT_EQ(s.total(), 7u);
+}
+
+TEST(CommStats, ResetClearsEverything) {
+  CommStats s;
+  s.begin_step();
+  s.count(MessageKind::kBroadcast, MessageTag::kOther, 5);
+  s.add_rounds(3);
+  s.reset();
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(s.steps(), 0u);
+  EXPECT_EQ(s.max_rounds_per_step(), 0u);
+}
+
+TEST(CommStats, ReportMentionsCounts) {
+  CommStats s;
+  s.count(MessageKind::kNodeToServer, MessageTag::kExistence, 11);
+  const auto rep = s.report();
+  EXPECT_NE(rep.find("total=11"), std::string::npos);
+  EXPECT_NE(rep.find("existence=11"), std::string::npos);
+}
+
+TEST(ToString, Names) {
+  EXPECT_EQ(to_string(MessageKind::kBroadcast), "broadcast");
+  EXPECT_EQ(to_string(MessageTag::kProbe), "probe");
+}
+
+}  // namespace
+}  // namespace topkmon

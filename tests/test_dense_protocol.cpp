@@ -1,0 +1,203 @@
+#include "protocols/dense_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/combined.hpp"
+#include "sim/simulator.hpp"
+#include "streams/oscillating.hpp"
+#include "streams/registry.hpp"
+#include "streams/trace_file.hpp"
+
+namespace topkmon {
+namespace {
+
+SimConfig strict_cfg(std::size_t k, double eps, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.k = k;
+  cfg.epsilon = eps;
+  cfg.seed = seed;
+  cfg.strict = true;
+  return cfg;
+}
+
+// DenseComponent is exercised through CombinedMonitor (the Theorem 5.8
+// driver), which enters dense mode exactly when v_{k+1} >= (1-eps)v_k.
+
+TEST(Dense, CombinedEntersDenseModeOnDenseStream) {
+  OscillatingConfig osc;
+  osc.n = 16;
+  osc.k = 4;
+  osc.epsilon = 0.15;
+  osc.sigma = 8;
+  auto protocol = std::make_unique<CombinedMonitor>();
+  auto* proto = protocol.get();
+  Simulator sim(strict_cfg(4, 0.15, 3), std::make_unique<OscillatingStream>(osc),
+                std::move(protocol));
+  sim.step();
+  EXPECT_EQ(proto->mode(), CombinedMonitor::Mode::kDense);
+  EXPECT_GE(proto->dense_entries(), 1u);
+}
+
+TEST(Dense, RolePartitionIsConsistentAtStart) {
+  OscillatingConfig osc;
+  osc.n = 20;
+  osc.k = 5;
+  osc.epsilon = 0.2;
+  osc.sigma = 10;
+  auto protocol = std::make_unique<CombinedMonitor>();
+  auto* proto = protocol.get();
+  Simulator sim(strict_cfg(5, 0.2, 5), std::make_unique<OscillatingStream>(osc),
+                std::move(protocol));
+  sim.step();
+  ASSERT_EQ(proto->mode(), CombinedMonitor::Mode::kDense);
+  const auto& dense = proto->dense();
+  const double z = dense.pivot_z();
+  std::size_t v1 = 0, v2 = 0, v3 = 0;
+  for (NodeId i = 0; i < 20; ++i) {
+    const double v = static_cast<double>(sim.context().nodes()[i].value());
+    switch (dense.role(i)) {
+      case DenseComponent::Role::kV1:
+        ++v1;
+        EXPECT_GT(v * (1.0 - 0.2), z) << "V1 must be clearly larger";
+        break;
+      case DenseComponent::Role::kV2:
+        ++v2;
+        break;
+      case DenseComponent::Role::kV3:
+        ++v3;
+        EXPECT_LT(v, (1.0 - 0.2) * z + 1e-9) << "V3 must be clearly smaller";
+        break;
+    }
+  }
+  EXPECT_EQ(v1 + v2 + v3, 20u);
+  EXPECT_GE(v2, 1u);
+}
+
+TEST(Dense, StrictOnOscillatingStreams) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    OscillatingConfig osc;
+    osc.n = 18;
+    osc.k = 4;
+    osc.epsilon = 0.1;
+    osc.sigma = 9;
+    Simulator sim(strict_cfg(4, 0.1, seed), std::make_unique<OscillatingStream>(osc),
+                  std::make_unique<CombinedMonitor>());
+    sim.run(300);
+    SUCCEED();
+  }
+}
+
+TEST(Dense, SilentWhenNeighborhoodQuiet) {
+  // A dense configuration that never changes costs nothing after start-up.
+  std::vector<ValueVector> rows(40, ValueVector{100, 99, 98, 97, 10, 9});
+  auto protocol = std::make_unique<CombinedMonitor>();
+  auto* proto = protocol.get();
+  Simulator sim(strict_cfg(2, 0.1, 7), std::make_unique<TraceFileStream>(rows),
+                std::move(protocol));
+  sim.step();
+  ASSERT_EQ(proto->mode(), CombinedMonitor::Mode::kDense);
+  const auto after_start = sim.context().stats().total();
+  sim.run(39);
+  EXPECT_EQ(sim.context().stats().total(), after_start);
+}
+
+TEST(Dense, ScriptedS1Promotion) {
+  // Node 2 oscillates above u_r then above z/(1-eps): it must end in V1.
+  // Layout: k=2; nodes 0,1 anchors at 100; node 2 starts at 99 (V2);
+  // nodes 3,4 low.
+  std::vector<ValueVector> rows;
+  rows.push_back({100, 100, 99, 10, 9});
+  rows.push_back({100, 100, 120, 10, 9});  // above u_r (<=111) -> S1
+  rows.push_back({100, 100, 140, 10, 9});  // above z/(1-eps)=111.1 -> V1
+  for (int t = 0; t < 5; ++t) rows.push_back({100, 100, 140, 10, 9});
+  auto protocol = std::make_unique<CombinedMonitor>();
+  auto* proto = protocol.get();
+  Simulator sim(strict_cfg(2, 0.1, 11), std::make_unique<TraceFileStream>(rows),
+                std::move(protocol));
+  for (std::size_t t = 0; t < rows.size(); ++t) sim.step();
+  if (proto->mode() == CombinedMonitor::Mode::kDense) {
+    EXPECT_EQ(proto->dense().role(2), DenseComponent::Role::kV1);
+    // A node certified clearly-larger must be in the output.
+    const auto& out = proto->output();
+    EXPECT_NE(std::find(out.begin(), out.end(), 2u), out.end());
+  }
+}
+
+TEST(Dense, ScriptedDemotionToV3) {
+  // Node 2 drops below (1-eps)z: must leave the candidate set.
+  std::vector<ValueVector> rows;
+  rows.push_back({100, 100, 99, 98, 9});
+  rows.push_back({100, 100, 50, 98, 9});  // far below (1-eps)z = 90
+  for (int t = 0; t < 5; ++t) rows.push_back({100, 100, 50, 98, 9});
+  auto protocol = std::make_unique<CombinedMonitor>();
+  auto* proto = protocol.get();
+  Simulator sim(strict_cfg(2, 0.1, 13), std::make_unique<TraceFileStream>(rows),
+                std::move(protocol));
+  for (std::size_t t = 0; t < rows.size(); ++t) sim.step();
+  const auto& out = proto->output();
+  EXPECT_EQ(std::find(out.begin(), out.end(), 2u), out.end());
+}
+
+TEST(Dense, SubprotocolTriggersOnFlipFlop) {
+  // Node 2 goes above u_r (-> S1) then below l_r (-> S1 ∩ S2 -> SUB).
+  std::vector<ValueVector> rows;
+  rows.push_back({100, 100, 100, 98, 9});
+  rows.push_back({100, 100, 108, 98, 9});   // above u_r (~105.6) -> S1,
+                                            // but below z/(1-eps) (111.1)
+  rows.push_back({100, 100, 91, 98, 9});    // below l_r (~95) -> S2 -> SUB
+  for (int t = 0; t < 10; ++t) rows.push_back({100, 100, 91, 98, 9});
+  auto protocol = std::make_unique<CombinedMonitor>();
+  auto* proto = protocol.get();
+  Simulator sim(strict_cfg(2, 0.1, 17), std::make_unique<TraceFileStream>(rows),
+                std::move(protocol));
+  for (std::size_t t = 0; t < rows.size(); ++t) sim.step();
+  if (proto->dense_entries() > 0) {
+    EXPECT_GE(proto->dense().sub_calls(), 1u);
+  }
+}
+
+TEST(Dense, ChurnCostIndependentOfDeltaScale) {
+  // The dense machinery works on [(1-eps)z, z]; scaling all values by 2^10
+  // grows log(eps*z) only linearly in the exponent.
+  auto run_messages = [&](Value band_top) {
+    OscillatingConfig osc;
+    osc.n = 16;
+    osc.k = 4;
+    osc.epsilon = 0.1;
+    osc.sigma = 8;
+    osc.band_top = band_top;
+    Simulator sim(strict_cfg(4, 0.1, 23), std::make_unique<OscillatingStream>(osc),
+                  std::make_unique<CombinedMonitor>());
+    return sim.run(200).messages;
+  };
+  const auto small = run_messages(1 << 10);
+  const auto large = run_messages(Value{1} << 30);
+  EXPECT_LT(large, small * 8u) << "cost must scale ~log(eps z), not z";
+}
+
+class DenseGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, double>> {
+};
+
+TEST_P(DenseGrid, StrictAcrossSigmaKEps) {
+  const auto [sigma, k, eps] = GetParam();
+  OscillatingConfig osc;
+  osc.n = 2 * sigma + k + 2;
+  osc.k = k;
+  osc.epsilon = eps;
+  osc.sigma = sigma;
+  Simulator sim(strict_cfg(k, eps, 100 + sigma * 7 + k),
+                std::make_unique<OscillatingStream>(osc),
+                std::make_unique<CombinedMonitor>());
+  sim.run(200);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DenseGrid,
+    ::testing::Values(std::make_tuple(2, 1, 0.1), std::make_tuple(4, 2, 0.1),
+                      std::make_tuple(6, 6, 0.15), std::make_tuple(8, 3, 0.2),
+                      std::make_tuple(12, 4, 0.05), std::make_tuple(3, 5, 0.3)));
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,113 @@
+#include "protocols/existence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/summary.hpp"
+
+namespace topkmon {
+namespace {
+
+TEST(Existence, AlwaysCorrectOnAllZeros) {
+  Rng rng(1);
+  for (std::size_t n : {1u, 2u, 5u, 64u, 1000u}) {
+    std::vector<bool> bits(n, false);
+    const auto res = ExistenceProtocol::run(bits, rng);
+    EXPECT_FALSE(res.any) << "n=" << n;
+    EXPECT_EQ(res.messages, 0u);
+    EXPECT_TRUE(res.senders.empty());
+  }
+}
+
+TEST(Existence, AlwaysCorrectWithOnes) {
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<bool> bits(100, false);
+    const std::size_t ones = 1 + rng.below(100);
+    for (std::size_t i = 0; i < ones; ++i) bits[rng.below(100)] = true;
+    const auto res = ExistenceProtocol::run(bits, rng);
+    EXPECT_TRUE(res.any);
+    EXPECT_GE(res.messages, 1u);
+    for (const auto& hit : res.senders) {
+      EXPECT_TRUE(bits[hit.id]) << "sender must hold a 1";
+    }
+  }
+}
+
+TEST(Existence, RoundBudgetRespected) {
+  Rng rng(3);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 7u, 8u, 9u, 1000u, 1024u}) {
+    std::vector<bool> bits(n, true);
+    const auto res = ExistenceProtocol::run(bits, rng);
+    EXPECT_LE(res.rounds, ExistenceProtocol::max_rounds(n)) << "n=" << n;
+  }
+}
+
+TEST(Existence, MaxRoundsFormula) {
+  EXPECT_EQ(ExistenceProtocol::max_rounds(1), 1u);
+  EXPECT_EQ(ExistenceProtocol::max_rounds(2), 2u);
+  EXPECT_EQ(ExistenceProtocol::max_rounds(1024), 11u);
+  EXPECT_EQ(ExistenceProtocol::max_rounds(1000), 11u);
+}
+
+TEST(Existence, SendersCarryValues) {
+  Rng rng(4);
+  const std::size_t n = 32;
+  const auto res = ExistenceProtocol::run(
+      n, [](NodeId i) { return i % 2 == 0; }, [](NodeId i) { return Value{i} * 10; },
+      rng);
+  ASSERT_TRUE(res.any);
+  for (const auto& hit : res.senders) {
+    EXPECT_EQ(hit.value, Value{hit.id} * 10);
+    EXPECT_EQ(hit.id % 2, 0u);
+  }
+}
+
+// Lemma 3.1: expected messages bounded by a constant (paper derives <= 6)
+// regardless of n and of the number b of ones.
+struct ExistenceCase {
+  std::size_t n;
+  std::size_t b;
+};
+
+class ExistenceExpectation : public ::testing::TestWithParam<ExistenceCase> {};
+
+TEST_P(ExistenceExpectation, ExpectedMessagesConstant) {
+  const auto [n, b] = GetParam();
+  Rng rng(1000 + n * 31 + b);
+  StreamingMoments messages;
+  std::vector<bool> bits(n, false);
+  for (std::size_t i = 0; i < b; ++i) bits[i] = true;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const auto res = ExistenceProtocol::run(bits, rng);
+    ASSERT_EQ(res.any, b > 0);
+    messages.add(static_cast<double>(res.messages));
+  }
+  EXPECT_LE(messages.mean(), 6.0) << "n=" << n << " b=" << b;
+  if (b > 0) {
+    EXPECT_GE(messages.mean(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExistenceExpectation,
+    ::testing::Values(ExistenceCase{16, 1}, ExistenceCase{16, 8},
+                      ExistenceCase{16, 16}, ExistenceCase{256, 1},
+                      ExistenceCase{256, 16}, ExistenceCase{256, 128},
+                      ExistenceCase{256, 256}, ExistenceCase{4096, 1},
+                      ExistenceCase{4096, 64}, ExistenceCase{4096, 2048},
+                      ExistenceCase{4096, 4096}, ExistenceCase{64, 0}));
+
+TEST(Existence, SingleNode) {
+  Rng rng(5);
+  std::vector<bool> one{true};
+  const auto res = ExistenceProtocol::run(one, rng);
+  EXPECT_TRUE(res.any);
+  EXPECT_EQ(res.messages, 1u);
+  std::vector<bool> zero{false};
+  const auto res0 = ExistenceProtocol::run(zero, rng);
+  EXPECT_FALSE(res0.any);
+}
+
+}  // namespace
+}  // namespace topkmon

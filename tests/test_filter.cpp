@@ -1,0 +1,96 @@
+#include "model/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(Filter, Factories) {
+  const auto all = Filter::all();
+  EXPECT_TRUE(all.contains(0));
+  EXPECT_TRUE(all.contains(~Value{0} >> 1));
+
+  const auto least = Filter::at_least(10.0);
+  EXPECT_TRUE(least.contains(10));
+  EXPECT_FALSE(least.contains(9));
+
+  const auto most = Filter::at_most(10.0);
+  EXPECT_TRUE(most.contains(10));
+  EXPECT_FALSE(most.contains(11));
+
+  const auto pt = Filter::point(5.0);
+  EXPECT_TRUE(pt.contains(5));
+  EXPECT_FALSE(pt.contains(4));
+  EXPECT_FALSE(pt.contains(6));
+}
+
+TEST(Filter, ViolationNamingFollowsPaper) {
+  // "from below": value exceeds the UPPER bound.
+  const Filter f{10.0, 20.0};
+  EXPECT_EQ(f.check(25), Violation::kFromBelow);
+  // "from above": value drops below the LOWER bound.
+  EXPECT_EQ(f.check(5), Violation::kFromAbove);
+  EXPECT_EQ(f.check(15), Violation::kNone);
+  EXPECT_EQ(f.check(10), Violation::kNone);
+  EXPECT_EQ(f.check(20), Violation::kNone);
+}
+
+TEST(Filter, FractionalBoundsOnIntegerValues) {
+  const Filter f{9.5, 10.5};
+  EXPECT_TRUE(f.contains(10));
+  EXPECT_EQ(f.check(9), Violation::kFromAbove);
+  EXPECT_EQ(f.check(11), Violation::kFromBelow);
+}
+
+TEST(ToString, ViolationNames) {
+  EXPECT_EQ(to_string(Violation::kNone), "none");
+  EXPECT_EQ(to_string(Violation::kFromBelow), "from-below");
+  EXPECT_EQ(to_string(Violation::kFromAbove), "from-above");
+}
+
+class FiltersValidTest : public ::testing::Test {
+ protected:
+  // 4 nodes; output = {0, 1}.
+  std::vector<Filter> filters_{Filter::at_least(100.0), Filter::at_least(95.0),
+                               Filter::at_most(90.0), Filter::at_most(100.0)};
+  OutputSet output_{0, 1};
+};
+
+TEST_F(FiltersValidTest, ValidWithEnoughEpsilon) {
+  // min lo in F = 95; max hi outside = 100; need 95 >= (1-eps)*100.
+  EXPECT_TRUE(filters_valid(filters_, output_, 0.05));
+  EXPECT_TRUE(filters_valid(filters_, output_, 0.5));
+}
+
+TEST_F(FiltersValidTest, InvalidWithSmallEpsilon) {
+  EXPECT_FALSE(filters_valid(filters_, output_, 0.01));
+  EXPECT_FALSE(filters_valid(filters_, output_, 0.0));
+}
+
+TEST_F(FiltersValidTest, ExactTouchingAllowedAtEpsZero) {
+  filters_[1] = Filter::at_least(100.0);
+  EXPECT_TRUE(filters_valid(filters_, output_, 0.0));
+}
+
+TEST(FiltersValid, VacuousWhenAllInOutput) {
+  std::vector<Filter> filters{Filter::all(), Filter::all()};
+  OutputSet output{0, 1};
+  EXPECT_TRUE(filters_valid(filters, output, 0.0));
+}
+
+TEST(FiltersValid, InfiniteUpperBoundOutsideIsInvalid) {
+  std::vector<Filter> filters{Filter::at_least(100.0), Filter::all()};
+  OutputSet output{0};
+  EXPECT_FALSE(filters_valid(filters, output, 0.3));
+}
+
+TEST(AllWithin, DetectsStragglers) {
+  std::vector<Filter> filters{Filter{0.0, 10.0}, Filter{5.0, 15.0}};
+  std::vector<Value> ok{7, 12};
+  std::vector<Value> bad{11, 12};
+  EXPECT_TRUE(all_within(filters, std::span<const Value>(ok)));
+  EXPECT_FALSE(all_within(filters, std::span<const Value>(bad)));
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,58 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+Flags make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  auto f = make({"prog", "--n=42", "--eps=0.25", "--name=hello"});
+  EXPECT_EQ(f.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("eps", 0.0), 0.25);
+  EXPECT_EQ(f.get_string("name", ""), "hello");
+}
+
+TEST(Flags, SpaceSyntax) {
+  auto f = make({"prog", "--steps", "1000", "--kind", "uniform"});
+  EXPECT_EQ(f.get_uint("steps", 0), 1000u);
+  EXPECT_EQ(f.get_string("kind", ""), "uniform");
+}
+
+TEST(Flags, BooleanFlags) {
+  auto f = make({"prog", "--verbose", "--strict=false"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("strict", true));
+  EXPECT_TRUE(f.get_bool("absent", true));
+  EXPECT_FALSE(f.get_bool("absent", false));
+}
+
+TEST(Flags, Positional) {
+  auto f = make({"prog", "input.csv", "--k=3", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(Flags, DefaultsWhenMissing) {
+  auto f = make({"prog"});
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_EQ(f.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.has("n"));
+}
+
+TEST(Flags, ProgramName) {
+  auto f = make({"./bench_e1", "--n=1"});
+  EXPECT_EQ(f.program(), "./bench_e1");
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,105 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace topkmon {
+namespace {
+
+TEST(Ilog2, FloorValues) {
+  EXPECT_EQ(ilog2_floor(1), 0);
+  EXPECT_EQ(ilog2_floor(2), 1);
+  EXPECT_EQ(ilog2_floor(3), 1);
+  EXPECT_EQ(ilog2_floor(4), 2);
+  EXPECT_EQ(ilog2_floor(1023), 9);
+  EXPECT_EQ(ilog2_floor(1024), 10);
+  EXPECT_EQ(ilog2_floor(~0ULL), 63);
+}
+
+TEST(Ilog2, CeilValues) {
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_ceil(2), 1);
+  EXPECT_EQ(ilog2_ceil(3), 2);
+  EXPECT_EQ(ilog2_ceil(4), 2);
+  EXPECT_EQ(ilog2_ceil(5), 3);
+  EXPECT_EQ(ilog2_ceil(1024), 10);
+  EXPECT_EQ(ilog2_ceil(1025), 11);
+}
+
+class Ilog2Param : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ilog2Param, FloorCeilConsistentOnPowersOfTwo) {
+  const int e = GetParam();
+  const std::uint64_t v = std::uint64_t{1} << e;
+  EXPECT_EQ(ilog2_floor(v), e);
+  EXPECT_EQ(ilog2_ceil(v), e);
+  if (e > 1) {
+    EXPECT_EQ(ilog2_floor(v - 1), e - 1);
+    EXPECT_EQ(ilog2_ceil(v + 1), e + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, Ilog2Param,
+                         ::testing::Values(1, 2, 3, 8, 16, 31, 32, 47, 62));
+
+TEST(LogLog, ClampedAtSmallValues) {
+  EXPECT_DOUBLE_EQ(loglog2(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(loglog2(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loglog2(2.0), 0.0);
+}
+
+TEST(LogLog, KnownValues) {
+  EXPECT_NEAR(loglog2(4.0), 1.0, 1e-9);            // log2(log2 4) = log2 2
+  EXPECT_NEAR(loglog2(16.0), 2.0, 1e-9);           // log2(log2 16) = log2 4
+  EXPECT_NEAR(loglog2(65536.0), 4.0, 1e-9);        // log2(16)
+  EXPECT_NEAR(loglog2(std::exp2(256.0)), 8.0, 1e-9);
+}
+
+TEST(LogLog, MonotoneNondecreasing) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 1e6; x = x * 1.5 + 1.0) {
+    const double v = loglog2(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Pow2Saturated, NormalRange) {
+  EXPECT_DOUBLE_EQ(pow2_saturated(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pow2_saturated(10.0), 1024.0);
+}
+
+TEST(Pow2Saturated, SaturatesHugeExponents) {
+  const double cap = 4.611686018427387904e18;
+  EXPECT_DOUBLE_EQ(pow2_saturated(63.0), cap);
+  EXPECT_DOUBLE_EQ(pow2_saturated(1000.0), cap);
+  EXPECT_DOUBLE_EQ(pow2_saturated(100.0, 42.0), 42.0);
+}
+
+TEST(Midpoint, Basics) {
+  EXPECT_DOUBLE_EQ(midpoint(0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(midpoint(3.0, 4.0), 3.5);
+  EXPECT_DOUBLE_EQ(midpoint(7.0, 7.0), 7.0);
+}
+
+TEST(Midpoint, NoOverflowAtLargeMagnitudes) {
+  const double big = 1e300;
+  EXPECT_DOUBLE_EQ(midpoint(big, big), big);
+}
+
+TEST(ApproxEqual, Tolerances) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0));
+}
+
+TEST(RoundToU64, ClampsAndRounds) {
+  EXPECT_EQ(round_to_u64(-5.0), 0u);
+  EXPECT_EQ(round_to_u64(0.4), 0u);
+  EXPECT_EQ(round_to_u64(0.6), 1u);
+  EXPECT_EQ(round_to_u64(1e30), std::uint64_t{1} << 63);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,90 @@
+// The big integration matrix: every protocol × every benign workload runs
+// under strict validation (oracle output check, Observation-2.2 filter
+// validity, quiescence) for several hundred steps.
+#include <gtest/gtest.h>
+
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+
+namespace topkmon {
+namespace {
+
+struct MatrixCase {
+  std::string protocol;
+  std::string stream;
+};
+
+void PrintTo(const MatrixCase& c, std::ostream* os) {
+  *os << c.protocol << "/" << c.stream;
+}
+
+class ProtocolStreamMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ProtocolStreamMatrix, StrictLongRun) {
+  const auto& [protocol, stream] = GetParam();
+  StreamSpec spec;
+  spec.kind = stream;
+  spec.n = 16;
+  spec.k = 4;
+  spec.sigma = 8;
+  spec.delta = 1 << 14;
+  SimConfig cfg;
+  cfg.k = 4;
+  // Exact protocols are validated with eps = 0 (harder), approximate ones
+  // with a moderate error.
+  cfg.epsilon = (protocol == "exact_topk" || protocol == "naive_central" ||
+                 protocol == "naive_change")
+                    ? 0.0
+                    : 0.15;
+  spec.epsilon = cfg.epsilon == 0.0 ? 0.15 : cfg.epsilon;  // streams need eps>0
+  cfg.seed = 0xFEED;
+  cfg.strict = true;
+  Simulator sim(cfg, make_stream(spec), make_protocol(protocol));
+  sim.run(300);
+  SUCCEED();
+}
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  for (const auto& protocol : protocol_names()) {
+    for (const char* stream :
+         {"uniform", "random_walk", "oscillating", "zipf_bursty", "sine_noise"}) {
+      // exact protocols cannot use the oscillating band at eps=0 cheaply but
+      // must still be CORRECT — include everything.
+      cases.push_back({protocol, stream});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ProtocolStreamMatrix,
+                         ::testing::ValuesIn(matrix_cases()),
+                         [](const ::testing::TestParamInfo<MatrixCase>& param) {
+                           return param.param.protocol + "_" + param.param.stream;
+                         });
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, CombinedSurvivesManySeeds) {
+  StreamSpec spec;
+  spec.kind = "oscillating";
+  spec.n = 14;
+  spec.k = 3;
+  spec.sigma = 7;
+  SimConfig cfg;
+  cfg.k = 3;
+  cfg.epsilon = 0.2;
+  spec.epsilon = 0.2;
+  cfg.seed = GetParam();
+  cfg.strict = true;
+  Simulator sim(cfg, make_stream(spec), make_protocol("combined"));
+  sim.run(250);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace topkmon

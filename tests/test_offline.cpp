@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "offline/brute_force.hpp"
+#include "offline/feasibility.hpp"
+#include "offline/opt.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+namespace {
+
+WindowExtrema extrema_from(std::vector<Value> mins, std::vector<Value> maxs) {
+  WindowExtrema w(mins.size());
+  w.reset(mins);
+  // Absorb a row equal to maxs so per-node min = mins, max = maxs
+  // (requires mins[i] <= maxs[i]).
+  w.absorb(maxs);
+  return w;
+}
+
+TEST(WindowExtrema, TracksMinMax) {
+  WindowExtrema w(3);
+  std::vector<Value> a{5, 10, 15}, b{7, 8, 20};
+  w.reset(a);
+  w.absorb(b);
+  EXPECT_EQ(w.mins(), (std::vector<Value>{5, 8, 15}));
+  EXPECT_EQ(w.maxs(), (std::vector<Value>{7, 10, 20}));
+}
+
+TEST(Feasibility, SingleStepAlwaysFeasible) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.below(10);
+    const std::size_t k = 1 + rng.below(n);
+    std::vector<Value> v(n);
+    for (auto& x : v) x = rng.below(1000);
+    WindowExtrema w(n);
+    w.reset(v);
+    EXPECT_TRUE(window_feasible_approx(w, k, 0.0));
+    EXPECT_TRUE(window_feasible_approx(w, k, 0.3));
+  }
+}
+
+TEST(Feasibility, PicksHighMaxNodeDespiteLowMin) {
+  // Node 0: stable [10, 10]; node 1: volatile [9, 100]. k = 1, eps = 0.5.
+  // F = {0}: 10 >= 0.5*100? no. F = {1}: 9 >= 0.5*10 = 5? yes.
+  auto w = extrema_from({10, 9}, {10, 100});
+  EXPECT_TRUE(window_feasible_approx(w, 1, 0.5));
+  EXPECT_TRUE(window_feasible_approx_brute(w, 1, 0.5));
+  // With eps = 0: F = {1} needs 9 >= 10 — infeasible either way.
+  EXPECT_FALSE(window_feasible_approx(w, 1, 0.0));
+  EXPECT_FALSE(window_feasible_approx_brute(w, 1, 0.0));
+}
+
+TEST(Feasibility, KEqualsNIsVacuouslyFeasible) {
+  auto w = extrema_from({1, 2, 3}, {100, 200, 300});
+  EXPECT_TRUE(window_feasible_approx(w, 3, 0.0));
+}
+
+TEST(Feasibility, FastMatchesBruteForceOnRandomWindows) {
+  Rng rng(13);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = 2 + rng.below(9);  // up to 10 nodes
+    const std::size_t k = 1 + rng.below(n);
+    const double eps = 0.05 * static_cast<double>(rng.below(10));
+    std::vector<Value> lo(n), hi(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo[i] = rng.below(64);
+      hi[i] = lo[i] + rng.below(64);
+    }
+    WindowExtrema w(n);
+    w.reset(lo);
+    w.absorb(hi);
+    EXPECT_EQ(window_feasible_approx(w, k, eps),
+              window_feasible_approx_brute(w, k, eps))
+        << "n=" << n << " k=" << k << " eps=" << eps;
+  }
+}
+
+TEST(FeasibilityExact, RequiresConstantTopK) {
+  std::vector<ValueVector> h{{10, 20, 5}, {10, 20, 6}, {25, 20, 6}};
+  EXPECT_TRUE(window_feasible_exact(h, 0, 2, 1));   // top-1 = node 1 both steps
+  EXPECT_FALSE(window_feasible_exact(h, 0, 3, 1));  // node 0 takes over at t=2
+  EXPECT_TRUE(window_feasible_exact(h, 2, 3, 1));
+}
+
+TEST(FeasibilityExact, RequiresSeparation) {
+  // Constant top-1 = node 0, but node 1's max (15) exceeds node 0's min (12).
+  std::vector<ValueVector> h{{20, 15}, {12, 9}};
+  EXPECT_FALSE(window_feasible_exact(h, 0, 2, 1));
+  // With k=2 there is no complement: feasible.
+  EXPECT_TRUE(window_feasible_exact(h, 0, 2, 2));
+}
+
+TEST(OfflineOpt, SinglePhaseOnStaticStream) {
+  std::vector<ValueVector> h(50, ValueVector{100, 50, 10});
+  const auto exact = OfflineOpt::exact(h, 1);
+  EXPECT_EQ(exact.phases, 1u);
+  const auto approx = OfflineOpt::approx(h, 1, 0.1);
+  EXPECT_EQ(approx.phases, 1u);
+  EXPECT_EQ(approx.messages_constructive, 2u);  // (k+1) per phase
+}
+
+TEST(OfflineOpt, PhaseBoundaryAtRankSwap) {
+  std::vector<ValueVector> h;
+  for (int t = 0; t < 10; ++t) h.push_back({100, 50});
+  for (int t = 0; t < 10; ++t) h.push_back({40, 50});  // node 1 overtakes
+  const auto exact = OfflineOpt::exact(h, 1);
+  EXPECT_EQ(exact.phases, 2u);
+  EXPECT_EQ(exact.phase_starts[1], 10u);
+  // With a large allowed error the whole history is one phase:
+  // F={1}: min 50 >= (1-0.6)*max(100) = 40.
+  const auto approx = OfflineOpt::approx(h, 1, 0.6);
+  EXPECT_EQ(approx.phases, 1u);
+}
+
+TEST(OfflineOpt, ApproxNeverMorePhasesThanExact) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ValueVector> h;
+    ValueVector v(5);
+    for (auto& x : v) x = 100 + rng.below(100);
+    for (int t = 0; t < 60; ++t) {
+      for (auto& x : v) {
+        const auto step = rng.below(21);
+        x = (rng.bernoulli(0.5) && x > step) ? x - step : x + step;
+      }
+      h.push_back(v);
+    }
+    for (std::size_t k : {1u, 2u, 4u}) {
+      const auto exact = OfflineOpt::exact(h, k);
+      const auto approx = OfflineOpt::approx(h, k, 0.2);
+      EXPECT_LE(approx.phases, exact.phases) << "k=" << k;
+    }
+  }
+}
+
+TEST(OfflineOpt, GreedyMatchesDpOnRandomHistories) {
+  Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + rng.below(5);
+    const std::size_t k = 1 + rng.below(n);
+    const double eps = 0.1 * static_cast<double>(rng.below(4));
+    std::vector<ValueVector> h;
+    ValueVector v(n);
+    for (auto& x : v) x = 50 + rng.below(100);
+    for (int t = 0; t < 18; ++t) {
+      for (auto& x : v) {
+        const auto step = rng.below(30);
+        x = (rng.bernoulli(0.5) && x > step) ? x - step : x + step;
+      }
+      h.push_back(v);
+    }
+    const auto greedy = OfflineOpt::approx(h, k, eps);
+    const auto dp = min_phases_brute(h, k, eps);
+    EXPECT_EQ(greedy.phases, dp) << "n=" << n << " k=" << k << " eps=" << eps;
+  }
+}
+
+TEST(OfflineOpt, EmptyHistory) {
+  const auto r = OfflineOpt::approx({}, 3, 0.1);
+  EXPECT_EQ(r.phases, 0u);
+  EXPECT_EQ(r.messages_lower_bound, 0u);
+}
+
+TEST(OfflineOpt, LargerEpsilonNeverIncreasesPhases) {
+  Rng rng(29);
+  std::vector<ValueVector> h;
+  ValueVector v{100, 90, 80, 70};
+  for (int t = 0; t < 80; ++t) {
+    for (auto& x : v) {
+      const auto step = rng.below(15);
+      x = (rng.bernoulli(0.5) && x > step) ? x - step : x + step;
+    }
+    h.push_back(v);
+  }
+  std::uint64_t prev = ~0ULL;
+  for (double eps : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    const auto r = OfflineOpt::approx(h, 2, eps);
+    EXPECT_LE(r.phases, prev) << "eps=" << eps;
+    prev = r.phases;
+  }
+}
+
+}  // namespace
+}  // namespace topkmon

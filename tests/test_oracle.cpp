@@ -1,0 +1,116 @@
+#include "model/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(Oracle, RankingDescendingWithIdTieBreak) {
+  std::vector<Value> v{5, 9, 9, 1};
+  const auto r = Oracle::ranking(v);
+  // Node 1 and 2 tie at 9; lower id ranks first.
+  EXPECT_EQ(r, (std::vector<NodeId>{1, 2, 0, 3}));
+}
+
+TEST(Oracle, TopKSortedByIdAscending) {
+  std::vector<Value> v{5, 9, 7, 1, 8};
+  EXPECT_EQ(Oracle::top_k(v, 3), (OutputSet{1, 2, 4}));
+  EXPECT_EQ(Oracle::top_k(v, 1), (OutputSet{1}));
+  EXPECT_EQ(Oracle::top_k(v, 5), (OutputSet{0, 1, 2, 3, 4}));
+}
+
+TEST(Oracle, KthNodeAndValue) {
+  std::vector<Value> v{5, 9, 7, 1, 8};
+  EXPECT_EQ(Oracle::kth_node(v, 1), 1u);
+  EXPECT_EQ(Oracle::kth_value(v, 1), 9u);
+  EXPECT_EQ(Oracle::kth_node(v, 3), 2u);
+  EXPECT_EQ(Oracle::kth_value(v, 3), 7u);
+  EXPECT_EQ(Oracle::kth_value(v, 5), 1u);
+}
+
+TEST(EpsilonHelpers, ClearlyLargerNeighborhoodSmaller) {
+  // vk = 100, eps = 0.1: E = (111.1.., inf), A = [90, 111.1..].
+  EXPECT_TRUE(clearly_larger(112, 100, 0.1));
+  EXPECT_FALSE(clearly_larger(111, 100, 0.1));
+  EXPECT_TRUE(in_neighborhood(90, 100, 0.1));
+  EXPECT_TRUE(in_neighborhood(111, 100, 0.1));
+  EXPECT_FALSE(in_neighborhood(89, 100, 0.1));
+  EXPECT_FALSE(in_neighborhood(112, 100, 0.1));
+  EXPECT_TRUE(clearly_smaller(89, 100, 0.1));
+  EXPECT_FALSE(clearly_smaller(90, 100, 0.1));
+}
+
+TEST(EpsilonHelpers, EpsZeroDegeneratesToEquality) {
+  EXPECT_TRUE(clearly_larger(101, 100, 0.0));
+  EXPECT_FALSE(clearly_larger(100, 100, 0.0));
+  EXPECT_TRUE(in_neighborhood(100, 100, 0.0));
+  EXPECT_FALSE(in_neighborhood(99, 100, 0.0));
+  EXPECT_FALSE(in_neighborhood(101, 100, 0.0));
+}
+
+TEST(Oracle, NeighborhoodAndSigma) {
+  // vk for k=2 is 100 (values: 200, 105, 100, 95, 50), eps = 0.1
+  // A = [90, 111.1]; nodes 1,2,3 inside; node 0 clearly larger; node 4 below.
+  std::vector<Value> v{200, 105, 100, 95, 50};
+  const auto K = Oracle::neighborhood(v, 2, 0.1);
+  EXPECT_EQ(K, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(Oracle::sigma(v, 2, 0.1), 3u);
+}
+
+TEST(Oracle, OutputValidAcceptsNeighborhoodSwaps) {
+  std::vector<Value> v{200, 105, 100, 95, 50};
+  const std::size_t k = 2;
+  const double eps = 0.1;
+  // Exact top-2 = {0, 1}. Node 0 is clearly larger (must appear); second
+  // slot may be any of the neighborhood {1, 2, 3}.
+  EXPECT_TRUE(Oracle::output_valid(v, k, eps, {0, 1}));
+  EXPECT_TRUE(Oracle::output_valid(v, k, eps, {0, 2}));
+  EXPECT_TRUE(Oracle::output_valid(v, k, eps, {0, 3}));
+  EXPECT_FALSE(Oracle::output_valid(v, k, eps, {0, 4}));  // clearly smaller
+  EXPECT_FALSE(Oracle::output_valid(v, k, eps, {1, 2}));  // misses node 0
+}
+
+TEST(Oracle, OutputValidChecksCardinality) {
+  std::vector<Value> v{10, 20, 30};
+  EXPECT_FALSE(Oracle::output_valid(v, 2, 0.1, {2}));
+  EXPECT_FALSE(Oracle::output_valid(v, 2, 0.1, {0, 1, 2}));
+  EXPECT_FALSE(Oracle::output_valid(v, 2, 0.1, {2, 2}));
+}
+
+TEST(Oracle, ExplainInvalidMentionsOffendingNode) {
+  std::vector<Value> v{200, 105, 100, 95, 50};
+  const auto why = Oracle::explain_invalid(v, 2, 0.1, {1, 2});
+  EXPECT_NE(why.find("node 0"), std::string::npos);
+  EXPECT_EQ(Oracle::explain_invalid(v, 2, 0.1, {0, 1}), "");
+}
+
+TEST(Oracle, ExactModeRequiresExactSet) {
+  std::vector<Value> v{10, 20, 30, 40};
+  EXPECT_TRUE(Oracle::output_valid(v, 2, 0.0, {2, 3}));
+  EXPECT_FALSE(Oracle::output_valid(v, 2, 0.0, {1, 3}));
+}
+
+TEST(Oracle, TiesAtBoundaryInterchangeableAtEpsZero) {
+  std::vector<Value> v{10, 10, 5};
+  // k=1: vk = 10 (node 0 by tie-break); node 1 also has value 10 == vk,
+  // so {1} is an acceptable output even in exact mode (the paper breaks
+  // ties by identifier; both singletons are valid filter-based outputs).
+  EXPECT_TRUE(Oracle::output_valid(v, 1, 0.0, {0}));
+  EXPECT_TRUE(Oracle::output_valid(v, 1, 0.0, {1}));
+  EXPECT_FALSE(Oracle::output_valid(v, 1, 0.0, {2}));
+}
+
+class SigmaParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SigmaParam, SigmaCountsExactlyTheBand) {
+  const std::size_t sigma = GetParam();
+  // sigma nodes at value 100, the rest far below.
+  std::vector<Value> v(sigma + 5, 1);
+  for (std::size_t i = 0; i < sigma; ++i) v[i] = 100;
+  EXPECT_EQ(Oracle::sigma(v, 1, 0.1), sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, SigmaParam, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace topkmon

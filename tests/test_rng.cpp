@@ -1,0 +1,153 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace topkmon {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DeriveProducesIndependentStreams) {
+  Rng a = Rng::derive(42, 0);
+  Rng b = Rng::derive(42, 1);
+  Rng a2 = Rng::derive(42, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng a3 = Rng::derive(42, 0);
+  EXPECT_EQ(a2.next_u64(), a3.next_u64());
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_u64(100, 200);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 200u);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  const double p = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(p, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / trials;
+  const double var = sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.geometric(0.25));
+  }
+  // E[failures before success] = (1-p)/p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.1);
+}
+
+TEST(Zipf, RankOneMostProbable) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(31);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.sample(rng)]++;
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[1], counts[10]);
+  for (const auto& [rank, cnt] : counts) {
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 100u);
+  }
+}
+
+TEST(Zipf, AlphaZeroIsUniformish) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(37);
+  std::map<std::size_t, int> counts;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    counts[zipf.sample(rng)]++;
+  }
+  for (const auto& [rank, cnt] : counts) {
+    EXPECT_NEAR(static_cast<double>(cnt) / trials, 0.1, 0.02) << "rank " << rank;
+  }
+}
+
+TEST(Splitmix, KnownProgression) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+}  // namespace
+}  // namespace topkmon

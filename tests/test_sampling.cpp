@@ -1,0 +1,152 @@
+#include "protocols/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "model/oracle.hpp"
+#include "util/summary.hpp"
+
+namespace topkmon {
+namespace {
+
+TEST(SampleMax, FindsArgmaxOnRandomInputs) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.below(200);
+    std::vector<Value> values(n);
+    for (auto& v : values) v = rng.below(1 << 20);
+    const auto out = sample_max_standalone(values, rng);
+    ASSERT_TRUE(out.found);
+    const NodeId expected = Oracle::ranking(values)[0];
+    EXPECT_EQ(out.id, expected);
+    EXPECT_EQ(out.value, values[expected]);
+  }
+}
+
+TEST(SampleMax, TieBreaksByLowestId) {
+  Rng rng(13);
+  std::vector<Value> values{7, 7, 7, 7};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto out = sample_max_standalone(values, rng);
+    ASSERT_TRUE(out.found);
+    EXPECT_EQ(out.id, 0u);
+  }
+}
+
+TEST(SampleMax, MessagesLogarithmic) {
+  // Lemma 2.6: O(log n) messages expected. Check that the growth from
+  // n=64 to n=65536 is ~ log-factor, far below linear.
+  Rng rng(17);
+  auto mean_messages = [&](std::size_t n) {
+    StreamingMoments m;
+    for (int t = 0; t < 300; ++t) {
+      std::vector<Value> values(n);
+      for (auto& v : values) v = rng.next_u64() >> 20;
+      const auto out = sample_max_standalone(values, rng);
+      m.add(static_cast<double>(out.messages));
+    }
+    return m.mean();
+  };
+  const double small = mean_messages(64);
+  const double large = mean_messages(4096);
+  EXPECT_LT(large, small * 4.0);          // log growth, not 64x
+  EXPECT_LT(large, 12.0 * std::log2(4096.0));  // generous constant
+}
+
+TEST(ProbeTop, ReturnsDescendingRanks) {
+  Rng rng(19);
+  std::vector<Value> values{50, 10, 90, 70, 30, 60};
+  const auto out = probe_top_standalone(values, 4, rng);
+  ASSERT_EQ(out.top.size(), 4u);
+  EXPECT_EQ(out.top[0].first, 2u);
+  EXPECT_EQ(out.top[1].first, 3u);
+  EXPECT_EQ(out.top[2].first, 5u);
+  EXPECT_EQ(out.top[3].first, 0u);
+  EXPECT_EQ(out.top[0].second, 90u);
+}
+
+TEST(ProbeTop, FullSortWhenMEqualsN) {
+  Rng rng(23);
+  std::vector<Value> values{5, 1, 4, 2, 3};
+  const auto out = probe_top_standalone(values, 5, rng);
+  ASSERT_EQ(out.top.size(), 5u);
+  for (std::size_t i = 0; i + 1 < out.top.size(); ++i) {
+    EXPECT_TRUE(ranks_above(out.top[i].second, out.top[i].first,
+                            out.top[i + 1].second, out.top[i + 1].first));
+  }
+}
+
+class ProbeCostParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProbeCostParam, CostScalesWithM) {
+  const std::size_t m = GetParam();
+  Rng rng(29 + m);
+  StreamingMoments msgs;
+  for (int t = 0; t < 100; ++t) {
+    std::vector<Value> values(512);
+    for (auto& v : values) v = rng.next_u64() >> 16;
+    const auto out = probe_top_standalone(values, m, rng);
+    ASSERT_EQ(out.top.size(), m);
+    msgs.add(static_cast<double>(out.messages));
+  }
+  // O(m log n) with a generous constant.
+  EXPECT_LE(msgs.mean(), 12.0 * static_cast<double>(m) * std::log2(512.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, ProbeCostParam, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(BisectMax, AgreesWithSamplingOnRandomInputs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.below(100);
+    const Value delta = 1 + rng.below(1 << 20);
+    std::vector<Value> values(n);
+    for (auto& v : values) v = rng.below(delta + 1);
+    const auto s = sample_max_standalone(values, rng);
+    const auto b = bisect_max_standalone(values, delta, rng);
+    ASSERT_TRUE(b.found);
+    EXPECT_EQ(b.id, s.id);
+    EXPECT_EQ(b.value, s.value);
+  }
+}
+
+TEST(BisectMax, TieBreaksByLowestId) {
+  Rng rng(37);
+  std::vector<Value> values{9, 9, 9};
+  const auto b = bisect_max_standalone(values, 16, rng);
+  EXPECT_EQ(b.id, 0u);
+  EXPECT_EQ(b.value, 9u);
+}
+
+TEST(BisectMax, AllZeros) {
+  Rng rng(41);
+  std::vector<Value> values{0, 0, 0, 0};
+  const auto b = bisect_max_standalone(values, 1 << 10, rng);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(b.value, 0u);
+  EXPECT_EQ(b.id, 0u);
+}
+
+TEST(BisectMax, CostScalesWithLogDelta) {
+  Rng rng(43);
+  auto mean_messages = [&](Value delta) {
+    StreamingMoments m;
+    for (int t = 0; t < 200; ++t) {
+      std::vector<Value> values(64);
+      for (auto& v : values) v = rng.below(delta + 1);
+      m.add(static_cast<double>(bisect_max_standalone(values, delta, rng).messages));
+    }
+    return m.mean();
+  };
+  const double small = mean_messages(1 << 10);
+  const double large = mean_messages(Value{1} << 30);
+  // ~3x the bisection depth => ~3x the messages (log Δ growth, not flat).
+  EXPECT_GT(large, small * 1.8);
+  EXPECT_LT(large, small * 5.0);
+}
+
+}  // namespace
+}  // namespace topkmon

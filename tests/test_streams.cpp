@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "model/oracle.hpp"
+#include "streams/lb_adversary.hpp"
+#include "streams/oscillating.hpp"
+#include "streams/phase_torture.hpp"
+#include "streams/random_walk.hpp"
+#include "streams/registry.hpp"
+#include "streams/sine_noise.hpp"
+#include "streams/trace_file.hpp"
+#include "streams/uniform.hpp"
+#include "streams/zipf_bursty.hpp"
+
+namespace topkmon {
+namespace {
+
+AdversaryView dummy_view(const std::vector<Node>& nodes, const OutputSet& out,
+                         std::size_t k, double eps) {
+  return AdversaryView{{nodes.data(), nodes.size()}, &out, k, eps};
+}
+
+// ---- generic properties over every registered kind ------------------------
+
+class StreamKindTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StreamKindTest, DeterministicForSameSeed) {
+  StreamSpec spec;
+  spec.kind = GetParam();
+  spec.n = 12;
+  spec.k = 3;
+  spec.sigma = 6;
+  spec.delta = 1 << 16;
+  auto g1 = make_stream(spec);
+  auto g2 = make_stream(spec);
+  Rng r1(77), r2(77);
+  ValueVector v1(g1->n()), v2(g2->n());
+  g1->init(v1, r1);
+  g2->init(v2, r2);
+  EXPECT_EQ(v1, v2);
+  std::vector<Node> nodes(g1->n());
+  OutputSet out{0, 1, 2};
+  for (TimeStep t = 1; t < 50; ++t) {
+    g1->step(t, dummy_view(nodes, out, spec.k, spec.epsilon), v1, r1);
+    g2->step(t, dummy_view(nodes, out, spec.k, spec.epsilon), v2, r2);
+    EXPECT_EQ(v1, v2) << "kind=" << GetParam() << " t=" << t;
+  }
+}
+
+TEST_P(StreamKindTest, ValuesWithinObservableRange) {
+  StreamSpec spec;
+  spec.kind = GetParam();
+  spec.n = 12;
+  spec.k = 3;
+  spec.sigma = 6;
+  spec.delta = 1 << 16;
+  auto g = make_stream(spec);
+  Rng rng(123);
+  ValueVector v(g->n());
+  g->init(v, rng);
+  std::vector<Node> nodes(g->n());
+  OutputSet out{0, 1, 2};
+  for (TimeStep t = 1; t < 200; ++t) {
+    g->step(t, dummy_view(nodes, out, spec.k, spec.epsilon), v, rng);
+    for (const auto x : v) {
+      EXPECT_LE(x, kMaxObservableValue);
+    }
+  }
+}
+
+TEST_P(StreamKindTest, CloneIsIndependentAndEquivalent) {
+  StreamSpec spec;
+  spec.kind = GetParam();
+  spec.n = 8;
+  spec.k = 2;
+  spec.sigma = 4;
+  auto g = make_stream(spec);
+  auto c = g->clone();
+  EXPECT_EQ(g->n(), c->n());
+  EXPECT_EQ(g->name(), c->name());
+  Rng r1(5), r2(5);
+  ValueVector v1(g->n()), v2(c->n());
+  g->init(v1, r1);
+  c->init(v2, r2);
+  EXPECT_EQ(v1, v2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, StreamKindTest,
+                         ::testing::Values("uniform", "random_walk", "oscillating",
+                                           "zipf_bursty", "sine_noise",
+                                           "lb_adversary", "phase_torture"));
+
+TEST(StreamRegistry, UnknownKindThrows) {
+  StreamSpec spec;
+  spec.kind = "nope";
+  EXPECT_THROW(make_stream(spec), std::runtime_error);
+}
+
+TEST(StreamRegistry, KindListMatchesFactories) {
+  for (const auto& kind : stream_kinds()) {
+    if (kind == "trace_file") continue;  // needs a file
+    StreamSpec spec;
+    spec.kind = kind;
+    spec.n = 8;
+    spec.k = 2;
+    spec.sigma = 4;
+    EXPECT_NO_THROW(make_stream(spec)) << kind;
+  }
+}
+
+// ---- per-generator behaviour ----------------------------------------------
+
+TEST(RandomWalk, StepsBounded) {
+  RandomWalkConfig cfg;
+  cfg.n = 4;
+  cfg.lo = 100;
+  cfg.hi = 200;
+  cfg.max_step = 5;
+  RandomWalkStream g(cfg);
+  Rng rng(3);
+  ValueVector v(4);
+  g.init(v, rng);
+  ValueVector prev = v;
+  std::vector<Node> nodes(4);
+  OutputSet out{0};
+  for (TimeStep t = 1; t < 500; ++t) {
+    g.step(t, dummy_view(nodes, out, 1, 0.1), v, rng);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(v[i], 100u);
+      EXPECT_LE(v[i], 200u);
+      const auto diff = v[i] > prev[i] ? v[i] - prev[i] : prev[i] - v[i];
+      EXPECT_LE(diff, 2 * cfg.max_step);  // reflection can double the step
+    }
+    prev = v;
+  }
+}
+
+TEST(RandomWalk, SpreadInitIsEvenAndSorted) {
+  RandomWalkConfig cfg;
+  cfg.n = 10;
+  cfg.lo = 0;
+  cfg.hi = 1000;
+  cfg.spread_init = true;
+  RandomWalkStream g(cfg);
+  Rng rng(3);
+  ValueVector v(10);
+  g.init(v, rng);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_GE(v.front(), 0u);
+  EXPECT_LE(v.back(), 1000u);
+}
+
+TEST(Oscillating, SigmaIsExactEveryStep) {
+  OscillatingConfig cfg;
+  cfg.n = 24;
+  cfg.k = 5;
+  cfg.epsilon = 0.1;
+  cfg.sigma = 9;
+  OscillatingStream g(cfg);
+  Rng rng(21);
+  ValueVector v(cfg.n);
+  g.init(v, rng);
+  std::vector<Node> nodes(cfg.n);
+  OutputSet out{0, 1, 2, 3, 4};
+  for (TimeStep t = 0; t < 300; ++t) {
+    if (t > 0) g.step(t, dummy_view(nodes, out, cfg.k, cfg.epsilon), v, rng);
+    EXPECT_EQ(Oracle::sigma(v, cfg.k, cfg.epsilon), cfg.sigma) << "t=" << t;
+  }
+}
+
+TEST(Oscillating, DriftingBandKeepsSigmaExact) {
+  OscillatingConfig cfg;
+  cfg.n = 24;
+  cfg.k = 5;
+  cfg.epsilon = 0.1;
+  cfg.sigma = 9;
+  cfg.drift = 0.05;
+  OscillatingStream g(cfg);
+  Rng rng(77);
+  ValueVector v(cfg.n);
+  g.init(v, rng);
+  std::vector<Node> nodes(cfg.n);
+  OutputSet out{0, 1, 2, 3, 4};
+  Value min_top = cfg.band_top, max_top = 0;
+  for (TimeStep t = 0; t < 400; ++t) {
+    if (t > 0) g.step(t, dummy_view(nodes, out, cfg.k, cfg.epsilon), v, rng);
+    EXPECT_EQ(Oracle::sigma(v, cfg.k, cfg.epsilon), cfg.sigma) << "t=" << t;
+    min_top = std::min(min_top, g.band_hi());
+    max_top = std::max(max_top, g.band_hi());
+  }
+  EXPECT_LT(min_top, max_top) << "band must actually move";
+  EXPECT_GE(min_top, cfg.band_top / 2);
+  EXPECT_LE(max_top, cfg.band_top);
+}
+
+TEST(Oscillating, SigmaSmallerThanKAlsoWorks) {
+  OscillatingConfig cfg;
+  cfg.n = 24;
+  cfg.k = 8;
+  cfg.epsilon = 0.2;
+  cfg.sigma = 3;
+  OscillatingStream g(cfg);
+  Rng rng(22);
+  ValueVector v(cfg.n);
+  g.init(v, rng);
+  for (TimeStep t = 0; t < 100; ++t) {
+    std::vector<Node> nodes(cfg.n);
+    OutputSet out;
+    if (t > 0) g.step(t, dummy_view(nodes, out, cfg.k, cfg.epsilon), v, rng);
+    EXPECT_EQ(Oracle::sigma(v, cfg.k, cfg.epsilon), cfg.sigma) << "t=" << t;
+    // The k-th largest must be an oscillator value, inside the band.
+    const Value vk = Oracle::kth_value(v, cfg.k);
+    EXPECT_GE(vk, g.band_lo());
+    EXPECT_LE(vk, g.band_hi());
+  }
+}
+
+TEST(ZipfBursty, SkewedBaseLoads) {
+  ZipfBurstyConfig cfg;
+  cfg.n = 16;
+  cfg.noise = 0.0;
+  cfg.burst_prob = 0.0;
+  ZipfBurstyStream g(cfg);
+  Rng rng(31);
+  ValueVector v(cfg.n);
+  g.init(v, rng);
+  EXPECT_GT(v[0], v[5]);
+  EXPECT_GT(v[1], v[10]);
+}
+
+TEST(SineNoise, StaysNearMidWithoutNoise) {
+  SineNoiseConfig cfg;
+  cfg.n = 4;
+  cfg.mid = 10000;
+  cfg.amplitude = 1000;
+  cfg.noise = 0;
+  SineNoiseStream g(cfg);
+  Rng rng(41);
+  ValueVector v(4);
+  g.init(v, rng);
+  std::vector<Node> nodes(4);
+  OutputSet out{0};
+  for (TimeStep t = 1; t < 600; ++t) {
+    g.step(t, dummy_view(nodes, out, 1, 0.1), v, rng);
+    for (const auto x : v) {
+      EXPECT_GE(x, 9000u);
+      EXPECT_LE(x, 11000u);
+    }
+  }
+}
+
+TEST(TraceFile, ParsesAndReplays) {
+  const auto rows = parse_trace_csv("1,2,3\n4,5,6\n7,8,9\n");
+  ASSERT_EQ(rows.size(), 3u);
+  TraceFileStream g(rows);
+  EXPECT_EQ(g.n(), 3u);
+  Rng rng(1);
+  ValueVector v(3);
+  g.init(v, rng);
+  EXPECT_EQ(v, (ValueVector{1, 2, 3}));
+  std::vector<Node> nodes(3);
+  OutputSet out{0};
+  g.step(1, dummy_view(nodes, out, 1, 0.1), v, rng);
+  EXPECT_EQ(v, (ValueVector{4, 5, 6}));
+  g.step(2, dummy_view(nodes, out, 1, 0.1), v, rng);
+  EXPECT_EQ(v, (ValueVector{7, 8, 9}));
+  // Exhausted: repeats last row.
+  g.step(3, dummy_view(nodes, out, 1, 0.1), v, rng);
+  EXPECT_EQ(v, (ValueVector{7, 8, 9}));
+}
+
+TEST(TraceFile, RejectsMalformedCsv) {
+  EXPECT_THROW(parse_trace_csv(""), std::runtime_error);
+  EXPECT_THROW(parse_trace_csv("1,2\n3\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace_csv("1,x\n"), std::runtime_error);
+}
+
+TEST(TraceFile, SkipsCommentsAndBlankLines) {
+  const auto rows = parse_trace_csv("# header\n\n1,2\n3,4\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (ValueVector{3, 4}));
+}
+
+TEST(TraceFile, RoundTripThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/topkmon_trace.csv";
+  std::vector<ValueVector> rows{{10, 20}, {30, 40}};
+  write_trace(path, rows);
+  TraceFileStream g(path);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g.n(), 2u);
+}
+
+}  // namespace
+}  // namespace topkmon

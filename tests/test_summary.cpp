@@ -1,0 +1,88 @@
+#include "util/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(StreamingMoments, EmptyIsZero) {
+  StreamingMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(StreamingMoments, KnownSequence) {
+  StreamingMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 40.0);
+}
+
+TEST(StreamingMoments, SingleValue) {
+  StreamingMoments m;
+  m.add(3.5);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 3.5);
+  EXPECT_DOUBLE_EQ(m.max(), 3.5);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(SampleSet, AddAfterQuantileResorts) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(SampleSet, MeanStd) {
+  SampleSet s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev() * s.stddev(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SampleSet, FormatMeanSd) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(3.0);
+  const auto str = format_mean_sd(s, 1);
+  EXPECT_EQ(str, "2.0±1.4");
+}
+
+TEST(SampleSet, EmptySafe) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,67 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace topkmon {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.emit(1, "phase", "A1");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t(10);
+  t.emit(1, "phase", "A1");
+  t.emit(2, "violation", "node 3 from-below");
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].category, "phase");
+  EXPECT_EQ(t.events()[1].time, 2);
+}
+
+TEST(Trace, BoundedCapacityKeepsNewest) {
+  Trace t(3);
+  for (int i = 0; i < 10; ++i) {
+    t.emit(i, "e", std::to_string(i));
+  }
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.events().front().time, 7);
+  EXPECT_EQ(t.events().back().time, 9);
+}
+
+TEST(Trace, RenderFormatsLines) {
+  Trace t(4);
+  t.emit(5, "interval", "L=[3,9]");
+  const auto lines = t.render();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "t=5 [interval] L=[3,9]");
+}
+
+TEST(Trace, CapacityShrinkTrims) {
+  Trace t(5);
+  for (int i = 0; i < 5; ++i) t.emit(i, "e", "");
+  t.set_capacity(2);
+  EXPECT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events().front().time, 3);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t(5);
+  t.emit(0, "e", "");
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, GlobalSingleton) {
+  Trace::global().set_capacity(4);
+  Trace::global().clear();
+  Trace::global().emit(1, "g", "x");
+  EXPECT_EQ(Trace::global().events().size(), 1u);
+  Trace::global().set_capacity(0);
+  Trace::global().clear();
+}
+
+}  // namespace
+}  // namespace topkmon

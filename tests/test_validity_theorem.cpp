@@ -1,0 +1,137 @@
+// Property test of the load-bearing derivation (DESIGN.md §6 and
+// offline/feasibility.hpp): for ANY output set F of size k and ANY filter
+// assignment that is valid per Observation 2.2, if every node's value lies
+// inside its filter then F is a correct ε-output per the Sect. 2
+// definition. This theorem is what makes (a) the strict-mode validator
+// sufficient and (b) the offline OPT's feasibility condition exact — so we
+// fuzz it hard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/filter.hpp"
+#include "model/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+namespace {
+
+struct Instance {
+  std::vector<Value> values;
+  std::vector<Filter> filters;
+  OutputSet output;
+  double epsilon;
+};
+
+// Builds a random *valid* instance: choose F, choose a separator band, give
+// F-nodes filters with lo >= (1-eps)*max-complement-hi, then draw values
+// inside the filters.
+Instance random_valid_instance(Rng& rng) {
+  Instance inst;
+  const std::size_t n = 2 + rng.below(12);
+  const std::size_t k = 1 + rng.below(n - 1);
+  inst.epsilon = 0.05 * static_cast<double>(rng.below(10));  // 0 .. 0.45
+
+  std::vector<NodeId> ids(n);
+  for (NodeId i = 0; i < n; ++i) ids[i] = i;
+  // Random k-subset as output.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::swap(ids[i], ids[i + rng.below(n - i)]);
+  }
+  inst.output.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(inst.output.begin(), inst.output.end());
+  std::vector<bool> in_out(n, false);
+  for (NodeId id : inst.output) in_out[id] = true;
+
+  // Separator m; complement his <= m, output los >= (1-eps)*m.
+  const double m = 100.0 + static_cast<double>(rng.below(10000));
+  inst.filters.resize(n);
+  inst.values.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    if (in_out[i]) {
+      const double lo = (1.0 - inst.epsilon) * m + rng.uniform01() * 50.0;
+      // Guarantee at least one integer inside the interval.
+      const double hi = std::max(lo + rng.uniform01() * 1000.0, std::ceil(lo));
+      inst.filters[i] = Filter{lo, hi};
+    } else {
+      const double hi = m - rng.uniform01() * 50.0;
+      const double lo =
+          std::min(std::max(0.0, hi - rng.uniform01() * 1000.0), std::floor(hi));
+      inst.filters[i] = Filter{lo, hi};
+    }
+    // Value inside the filter (integer grid).
+    const double lo = inst.filters[i].lo;
+    const double hi = inst.filters[i].hi;
+    const auto vlo = static_cast<Value>(std::ceil(lo));
+    const auto vhi = static_cast<Value>(std::floor(hi));
+    inst.values[i] = vlo + (vhi > vlo ? rng.below(vhi - vlo + 1) : 0);
+  }
+  return inst;
+}
+
+TEST(ValidityTheorem, ValidFiltersPlusContainmentImplyCorrectOutput) {
+  Rng rng(0xABCDEF);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const Instance inst = random_valid_instance(rng);
+    ASSERT_TRUE(filters_valid(inst.filters, inst.output, inst.epsilon))
+        << "instance construction must be valid";
+    ASSERT_TRUE(all_within(inst.filters,
+                           std::span<const Value>(inst.values.data(),
+                                                  inst.values.size())));
+    EXPECT_TRUE(Oracle::output_valid(inst.values, inst.output.size(), inst.epsilon,
+                                     inst.output))
+        << Oracle::explain_invalid(inst.values, inst.output.size(), inst.epsilon,
+                                   inst.output);
+  }
+}
+
+TEST(ValidityTheorem, BrokenValidityCanBreakOutput) {
+  // Sanity for the test itself: if we *violate* Obs. 2.2 by a wide margin,
+  // incorrect outputs do occur — i.e. the property above is not vacuous.
+  std::vector<Value> values{10, 1000};
+  std::vector<Filter> filters{Filter{5.0, 50.0}, Filter{500.0, 2000.0}};
+  OutputSet output{0};  // node 0 in output although node 1 is far larger
+  EXPECT_FALSE(filters_valid(filters, output, 0.1));
+  EXPECT_FALSE(Oracle::output_valid(values, 1, 0.1, output));
+}
+
+TEST(ValidityTheorem, TwoFilterOptAssignmentIsValid) {
+  // Proposition 2.4's normal form: F1 = [MIN_F, inf), F2 = [0, MAX_out]
+  // is a valid filter set exactly when the (★) window condition holds.
+  Rng rng(0x1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = 2 + rng.below(10);
+    const std::size_t k = 1 + rng.below(n - 1);
+    const double eps = 0.05 * static_cast<double>(rng.below(10));
+    std::vector<Value> values(n);
+    for (auto& v : values) v = rng.below(1 << 16);
+    const OutputSet f = Oracle::top_k(values, k);
+    std::vector<bool> in_f(n, false);
+    for (NodeId id : f) in_f[id] = true;
+    Value min_f = ~Value{0}, max_out = 0;
+    bool has_out = false;
+    for (NodeId i = 0; i < n; ++i) {
+      if (in_f[i]) {
+        min_f = std::min(min_f, values[i]);
+      } else {
+        max_out = std::max(max_out, values[i]);
+        has_out = true;
+      }
+    }
+    std::vector<Filter> filters(n);
+    for (NodeId i = 0; i < n; ++i) {
+      filters[i] = in_f[i] ? Filter::at_least(static_cast<double>(min_f))
+                           : Filter::at_most(static_cast<double>(max_out));
+    }
+    const bool star = !has_out || static_cast<double>(min_f) >=
+                                      (1.0 - eps) * static_cast<double>(max_out);
+    EXPECT_EQ(filters_valid(filters, f, eps), star);
+    if (star) {
+      EXPECT_TRUE(Oracle::output_valid(values, k, eps, f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkmon
