@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       cfg.stream.delta = Value{1} << log_delta;
       rows.push_back({std::to_string(log_delta), cfg});
     }
-    const auto results = run_sweep(rows);
+    const auto results = run_sweep(rows, args.threads);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const double log_delta = std::stod(rows[i].label);
       const double bound = 2.0 * std::log2(8.0) + log_delta;
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
       cfg.stream.walk_step = 64;
       rows.push_back({std::to_string(k), cfg});
     }
-    const auto results = run_sweep(rows);
+    const auto results = run_sweep(rows, args.threads);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const double k = std::stod(rows[i].label);
       const double bound = k * std::log2(32.0) + 16.0;

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       rows.push_back({workload + "/" + protocol, cfg});
     }
   }
-  const auto results = run_sweep(rows);
+  const auto results = run_sweep(rows, args.threads);
 
   Table t("E9 / Table 9 — all monitors × all workloads (n=32, k=4, ε=0.15, " +
           std::to_string(args.steps) + " steps)");

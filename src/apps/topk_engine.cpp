@@ -1,0 +1,113 @@
+// topk_engine — the multi-query serving CLI.
+//
+//   $ topk_engine --q 32 --stream zipf_bursty --n 64 --k 4 --eps 0.1
+//                 --protocol combined --steps 1000 --threads 8 --seed 42
+//                 [--mixed] [--strict] [--no-share] [--per-query] [--markdown]
+//
+// Runs Q concurrent top-k-position queries over one fleet through the
+// MonitoringEngine and prints the aggregate (and optionally per-query)
+// serving report. `--mixed` varies (protocol, k, ε) across queries the way a
+// real multi-tenant deployment would; without it all queries share the
+// protocol/k/ε flags. `--no-share` disables cross-query probe batching (one
+// probe round per query, as in one-Simulator-per-query serving).
+// `--list` enumerates registered protocols and stream kinds.
+#include <algorithm>
+#include <iostream>
+
+#include "engine/engine.hpp"
+#include "protocols/registry.hpp"
+#include "streams/registry.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace topkmon;
+
+namespace {
+
+int list_registry() {
+  std::cout << "protocols:";
+  for (const auto& p : protocol_names()) std::cout << " " << p;
+  std::cout << "\nstreams:  ";
+  for (const auto& s : stream_kinds()) std::cout << " " << s;
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("list") || flags.has("help")) {
+    return list_registry();
+  }
+
+  StreamSpec spec;
+  spec.kind = flags.get_string("stream", "zipf_bursty");
+  spec.n = flags.get_uint("n", 64);
+  spec.k = flags.get_uint("k", 4);
+  spec.epsilon = flags.get_double("eps", 0.1);
+  spec.delta = flags.get_uint("delta", 1 << 16);
+  spec.sigma = flags.get_uint("sigma", spec.n / 4);
+
+  EngineConfig cfg;
+  cfg.threads = flags.get_uint("threads", 0);
+  cfg.seed = flags.get_uint("seed", 42);
+  cfg.share_probes = !flags.get_bool("no-share", false);
+
+  const std::size_t q_count = flags.get_uint("q", 32);
+  if (q_count == 0) {
+    std::cerr << "error: --q must be at least 1\n";
+    return 1;
+  }
+  if (spec.k == 0 || spec.k >= spec.n) {
+    std::cerr << "error: --k must satisfy 1 <= k < n (got k=" << spec.k
+              << ", n=" << spec.n << ")\n";
+    return 1;
+  }
+  const TimeStep steps = static_cast<TimeStep>(flags.get_uint("steps", 1000));
+  const bool mixed = flags.get_bool("mixed", false);
+  const bool strict = flags.get_bool("strict", false);
+  const std::string protocol = flags.get_string("protocol", "combined");
+
+  try {
+    MonitoringEngine engine(cfg, make_stream(spec));
+
+    const std::vector<std::string> mixed_protocols{"combined", "topk_protocol",
+                                                   "half_error", "exact_topk"};
+    for (std::size_t q = 0; q < q_count; ++q) {
+      QuerySpec qs;
+      if (mixed) {
+        qs.protocol = mixed_protocols[q % mixed_protocols.size()];
+        qs.k = 2 + q % std::max<std::size_t>(
+                           1, std::min<std::size_t>(spec.n - 2, 6));
+        qs.epsilon = qs.protocol == "exact_topk" ? 0.0 : 0.05 + 0.05 * (q % 4);
+      } else {
+        qs.protocol = protocol;
+        qs.k = spec.k;
+        qs.epsilon = flags.get_double("protocol-eps", spec.epsilon);
+      }
+      qs.strict = strict;
+      engine.add_query(qs);
+    }
+
+    const EngineStats stats = engine.run(steps);
+
+    const Table summary = stats.summary_table(
+        "topk_engine — " + std::to_string(q_count) + (mixed ? " mixed" : "") +
+        " queries on " + spec.kind + " (n=" + std::to_string(spec.n) +
+        ", steps=" + std::to_string(steps) + ", threads=" +
+        std::to_string(cfg.threads) + ", seed=" + std::to_string(cfg.seed) + ")");
+    const bool markdown = flags.get_bool("markdown", false);
+    std::cout << (markdown ? summary.to_markdown() : summary.to_ascii());
+
+    if (flags.get_bool("per-query", false)) {
+      const Table per_query = stats.per_query_table("per-query breakdown");
+      std::cout << "\n" << (markdown ? per_query.to_markdown() : per_query.to_ascii());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "use --list to see registered protocols and streams\n";
+    return 1;
+  }
+  return 0;
+}

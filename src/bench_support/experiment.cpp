@@ -47,9 +47,4 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   return res;
 }
 
-std::uint64_t splitmix_combine(std::uint64_t seed, std::uint64_t salt) {
-  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
-  return splitmix64(s);
-}
-
 }  // namespace topkmon

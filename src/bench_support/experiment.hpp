@@ -42,9 +42,7 @@ struct ExperimentResult {
 };
 
 /// Runs all trials of one cell (serially; parallelism lives in runner.hpp).
+/// Per-trial seeds derive from cfg.seed via splitmix_combine (util/rng.hpp).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
-
-/// Mixes a salt into a master seed (per-trial / per-cell derivation).
-std::uint64_t splitmix_combine(std::uint64_t seed, std::uint64_t salt);
 
 }  // namespace topkmon

@@ -1,15 +1,200 @@
 #include "bench_support/runner.hpp"
 
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "engine/engine.hpp"
+#include "offline/opt.hpp"
 #include "util/thread_pool.hpp"
 
 namespace topkmon {
 
+namespace {
+
+/// Streams whose next values depend on the monitored protocol's state; cells
+/// on these cannot share one fleet without changing what each protocol sees.
+bool stream_is_adaptive(const std::string& kind) {
+  return kind == "lb_adversary" || kind == "phase_torture";
+}
+
+/// The stream spec run_experiment actually instantiates (k/ε overrides).
+StreamSpec effective_spec(const ExperimentConfig& cfg) {
+  StreamSpec spec = cfg.stream;
+  spec.k = cfg.k;
+  if (cfg.epsilon > 0.0) {
+    spec.epsilon = cfg.epsilon;
+  }
+  return spec;
+}
+
+/// Cells agreeing on this key see the identical stream per trial and can be
+/// served as concurrent queries of one engine.
+std::string group_key(const ExperimentConfig& cfg) {
+  const StreamSpec s = effective_spec(cfg);
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << s.kind << '|' << s.n << '|' << s.k << '|' << s.epsilon << '|' << s.delta
+      << '|' << s.sigma << '|' << s.walk_step << '|' << s.churn << '|' << s.drift
+      << '|' << s.trace_path << '|' << cfg.k << '|' << cfg.epsilon << '|'
+      << cfg.steps << '|' << cfg.trials << '|' << cfg.seed << '|' << cfg.strict;
+  return oss.str();
+}
+
+struct TrialOutcome {
+  std::vector<RunResult> runs;     ///< per cell, group order
+  std::vector<double> opt_phases;  ///< per cell; NaN where OptKind::kNone
+};
+
+/// One trial of a cell group: one engine, Q = group size. Each query uses
+/// the exact seed a standalone Simulator would, and probe sharing stays off,
+/// so per-cell RunResults are bit-identical to the serial path; the shared
+/// work is the generator (once per step) and the OPT (once per distinct
+/// (kind, ε') instead of once per cell).
+TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
+                             std::size_t trial) {
+  const ExperimentConfig& base = *cells.front();
+  const std::uint64_t sim_seed = splitmix_combine(base.seed, trial);
+
+  EngineConfig ecfg;
+  ecfg.threads = 1;  // cell/trial parallelism lives in the sweep pool
+  ecfg.seed = sim_seed;
+  ecfg.share_probes = false;
+  for (const auto* c : cells) {
+    ecfg.record_history |= c->opt_kind != OptKind::kNone;
+  }
+
+  MonitoringEngine engine(ecfg, make_stream(effective_spec(base)));
+  for (const auto* c : cells) {
+    QuerySpec q;
+    q.protocol = c->protocol;
+    q.k = c->k;
+    q.epsilon = c->epsilon;
+    q.strict = c->strict;
+    q.seed = sim_seed;
+    engine.add_query(std::move(q));
+  }
+  engine.run(base.steps);
+
+  TrialOutcome out;
+  out.runs.reserve(cells.size());
+  out.opt_phases.assign(cells.size(), std::nan(""));
+  std::map<std::pair<int, double>, std::uint64_t> opt_cache;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto* c = cells[i];
+    out.runs.push_back(engine.query_sim(static_cast<QueryHandle>(i)).result());
+    if (c->opt_kind == OptKind::kNone) continue;
+    const double eps_opt = c->opt_epsilon < 0.0 ? c->epsilon : c->opt_epsilon;
+    const auto key = std::make_pair(
+        static_cast<int>(c->opt_kind),
+        c->opt_kind == OptKind::kExact ? 0.0 : eps_opt);
+    auto it = opt_cache.find(key);
+    if (it == opt_cache.end()) {
+      const OptReport opt = c->opt_kind == OptKind::kExact
+                                ? OfflineOpt::exact(engine.history(), c->k)
+                                : OfflineOpt::approx(engine.history(), c->k, eps_opt);
+      it = opt_cache.emplace(key, opt.phases).first;
+    }
+    out.opt_phases[i] = static_cast<double>(it->second);
+  }
+  return out;
+}
+
+/// Folds trial outcomes into an ExperimentResult in the same order
+/// run_experiment would (trial 0 .. T−1).
+ExperimentResult merge_trials(const ExperimentConfig& cfg,
+                              const std::vector<const TrialOutcome*>& trials,
+                              std::size_t cell_pos) {
+  ExperimentResult res;
+  for (const auto* t : trials) {
+    const RunResult& run = t->runs[cell_pos];
+    res.messages.add(static_cast<double>(run.messages));
+    res.msgs_per_step.add(run.messages_per_step);
+    res.max_sigma.add(static_cast<double>(run.max_sigma));
+    res.max_rounds.add(static_cast<double>(run.max_rounds_per_step));
+    if (cfg.opt_kind != OptKind::kNone) {
+      const double phases = t->opt_phases[cell_pos];
+      res.opt_phases.add(phases);
+      res.ratio.add(static_cast<double>(run.messages) /
+                    std::max(1.0, phases));
+    }
+    res.last_run = run;
+  }
+  return res;
+}
+
+}  // namespace
+
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepRow>& rows,
                                         std::size_t threads) {
   std::vector<ExperimentResult> results(rows.size());
+
+  // Partition rows: groupable cells go through the engine, the rest (unique
+  // stream configs, adaptive adversaries) stay one-Simulator-per-cell.
+  std::map<std::string, std::vector<std::size_t>> grouped;
+  std::vector<std::size_t> solo;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (stream_is_adaptive(rows[i].cfg.stream.kind)) {
+      solo.push_back(i);
+    } else {
+      grouped[group_key(rows[i].cfg)].push_back(i);
+    }
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  for (auto& [key, members] : grouped) {
+    (void)key;
+    if (members.size() < 2) {
+      solo.push_back(members.front());
+    } else {
+      groups.push_back(std::move(members));
+    }
+  }
+
+  // Task grid: every solo cell and every (group, trial) pair is one pool
+  // task; each task derives its own RNG streams, so scheduling order never
+  // affects results.
+  struct GroupTask {
+    std::size_t group;
+    std::size_t trial;
+  };
+  std::vector<GroupTask> group_tasks;
+  std::vector<std::vector<TrialOutcome>> outcomes(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::size_t trials = rows[groups[g].front()].cfg.trials;
+    outcomes[g].resize(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      group_tasks.push_back({g, t});
+    }
+  }
+
   ThreadPool pool(threads);
-  parallel_for(pool, rows.size(),
-               [&](std::size_t i) { results[i] = run_experiment(rows[i].cfg); });
+  parallel_for(pool, solo.size() + group_tasks.size(), [&](std::size_t i) {
+    if (i < solo.size()) {
+      const std::size_t row = solo[i];
+      results[row] = run_experiment(rows[row].cfg);
+      return;
+    }
+    const GroupTask task = group_tasks[i - solo.size()];
+    std::vector<const ExperimentConfig*> cells;
+    cells.reserve(groups[task.group].size());
+    for (const std::size_t row : groups[task.group]) {
+      cells.push_back(&rows[row].cfg);
+    }
+    outcomes[task.group][task.trial] = run_group_trial(cells, task.trial);
+  });
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::vector<const TrialOutcome*> trials;
+    trials.reserve(outcomes[g].size());
+    for (const auto& t : outcomes[g]) {
+      trials.push_back(&t);
+    }
+    for (std::size_t pos = 0; pos < groups[g].size(); ++pos) {
+      const std::size_t row = groups[g][pos];
+      results[row] = merge_trials(rows[row].cfg, trials, pos);
+    }
+  }
   return results;
 }
 

@@ -1,0 +1,172 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "protocols/registry.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+MonitoringEngine::MonitoringEngine(EngineConfig cfg,
+                                   std::unique_ptr<StreamGenerator> gen)
+    : cfg_(cfg),
+      gen_(std::move(gen)),
+      // Same derivation as Simulator's generator stream, so a Q = 1 engine
+      // seeded like a Simulator replays the identical stream.
+      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)),
+      shared_probe_(cfg.seed) {
+  TOPKMON_ASSERT(gen_ != nullptr);
+  TOPKMON_ASSERT(gen_->n() > 0);
+  snapshot_.resize(gen_->n());
+}
+
+MonitoringEngine::~MonitoringEngine() = default;
+
+QueryHandle MonitoringEngine::add_query(QuerySpec spec) {
+  TOPKMON_ASSERT_MSG(!started_, "add_query after the engine started");
+  const auto handle = static_cast<QueryHandle>(specs_.size());
+  if (spec.label.empty()) {
+    spec.label = describe(spec);
+  }
+  SimConfig sim_cfg;
+  sim_cfg.k = spec.k;
+  sim_cfg.epsilon = spec.epsilon;
+  sim_cfg.seed = spec.seed ? *spec.seed : splitmix_combine(cfg_.seed, handle);
+  sim_cfg.strict = spec.strict;
+  sim_cfg.record_history = false;  // history is shared, kept engine-side
+  auto sim = std::make_unique<Simulator>(sim_cfg, gen_->n(),
+                                         make_protocol(spec.protocol));
+  if (cfg_.share_probes) {
+    sim->context().set_probe_sharer(&shared_probe_);
+  }
+  // σ(t) is a pure function of the shared snapshot; memoize it per step per
+  // distinct (k, ε) instead of recomputing per query.
+  sim->set_sigma_hook([this](std::size_t k, double epsilon) {
+    return step_snapshot_.sigma(k, epsilon);
+  });
+  pending_.push_back(std::move(sim));
+  specs_.push_back(std::move(spec));
+  return handle;
+}
+
+void MonitoringEngine::ensure_started() {
+  if (started_) return;
+  TOPKMON_ASSERT_MSG(!specs_.empty(), "engine needs at least one query");
+
+  std::size_t threads = cfg_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  std::size_t shard_count = cfg_.shard_count;
+  if (shard_count == 0) {
+    shard_count = std::min(specs_.size(), threads);
+  }
+  shard_count = std::max<std::size_t>(1, std::min(shard_count, specs_.size()));
+
+  shards_.resize(shard_count);
+  locate_.resize(specs_.size());
+  for (std::size_t q = 0; q < pending_.size(); ++q) {
+    const std::size_t s = q % shard_count;
+    locate_[q] = {s, shards_[s].size()};
+    shards_[s].add(static_cast<QueryHandle>(q), std::move(pending_[q]));
+  }
+  pending_.clear();
+
+  if (threads > 1 && shard_count > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  started_ = true;
+}
+
+void MonitoringEngine::step() {
+  ensure_started();
+
+  // (1) One snapshot per step, shared by all queries. The adaptive-adversary
+  // view is query 0's state (see header).
+  if (next_t_ == 0) {
+    gen_->init(snapshot_, gen_rng_);
+  } else {
+    const Simulator& ref = query_sim(0);
+    const AdversaryView view{ref.context().nodes(), &ref.protocol().output(),
+                             ref.config().k, ref.config().epsilon};
+    gen_->step(next_t_, view, snapshot_, gen_rng_);
+  }
+
+  // (2) Arm the per-step caches, then advance all shards.
+  step_snapshot_.begin_step(snapshot_);
+  if (cfg_.share_probes) {
+    shared_probe_.begin_step(&snapshot_);
+  }
+  if (pool_) {
+    parallel_for(*pool_, shards_.size(),
+                 [&](std::size_t s) { shards_[s].step(snapshot_); });
+  } else {
+    for (auto& shard : shards_) {
+      shard.step(snapshot_);
+    }
+  }
+
+  if (cfg_.record_history) {
+    history_.push_back(snapshot_);
+  }
+  ++next_t_;
+}
+
+EngineStats MonitoringEngine::run(TimeStep steps) {
+  const auto start = std::chrono::steady_clock::now();
+  for (TimeStep i = 0; i < steps; ++i) {
+    step();
+  }
+  elapsed_sec_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats();
+}
+
+EngineStats MonitoringEngine::stats() const {
+  EngineStats s;
+  s.steps = static_cast<std::uint64_t>(next_t_);
+  s.queries.reserve(specs_.size());
+  for (std::size_t q = 0; q < specs_.size(); ++q) {
+    const Simulator& sim = query_sim(static_cast<QueryHandle>(q));
+    QueryStats qs;
+    qs.handle = static_cast<QueryHandle>(q);
+    qs.label = specs_[q].label;
+    qs.protocol = specs_[q].protocol;
+    qs.k = specs_[q].k;
+    qs.epsilon = specs_[q].epsilon;
+    qs.run = sim.result();
+    qs.output = sim.protocol().output();
+    s.query_messages += qs.run.messages;
+    s.queries.push_back(std::move(qs));
+  }
+  s.shared_probe_messages = shared_probe_.stats().total();
+  s.total_messages = s.query_messages + s.shared_probe_messages;
+  s.probe_calls = shared_probe_.calls();
+  s.probe_ranks_computed = shared_probe_.ranks_computed();
+  s.elapsed_sec = elapsed_sec_;
+  if (elapsed_sec_ > 0.0) {
+    s.steps_per_sec = static_cast<double>(s.steps) / elapsed_sec_;
+    s.query_steps_per_sec =
+        static_cast<double>(s.steps) * static_cast<double>(specs_.size()) /
+        elapsed_sec_;
+  }
+  return s;
+}
+
+const Simulator& MonitoringEngine::query_sim(QueryHandle h) const {
+  TOPKMON_ASSERT(h < specs_.size());
+  if (!started_) {
+    return *pending_[h];
+  }
+  const auto [shard, pos] = locate_[h];
+  return shards_[shard].sim(pos);
+}
+
+const OutputSet& MonitoringEngine::output(QueryHandle h) const {
+  return query_sim(h).protocol().output();
+}
+
+}  // namespace topkmon

@@ -1,0 +1,108 @@
+// MonitoringEngine — shard-parallel serving of many concurrent top-k queries
+// over one node fleet.
+//
+// The paper's protocols monitor a single query; a production deployment
+// serves many simultaneous top-k-position queries with different (k, ε) over
+// the same distributed streams. The engine multiplexes Q independent queries
+// (each its own protocol instance, SimContext, filters, and output) over ONE
+// shared stream of observation vectors, in lockstep per time step:
+//
+//   1. The shared generator produces the step's value snapshot once (not
+//      once per query as with one-Simulator-per-query).
+//   2. Queries, partitioned into shards, advance in parallel on the thread
+//      pool; each shard owns its queries' Simulators/SimContexts.
+//   3. probe_top traffic is batched through a SharedProbe: the global top-m
+//      ranking is computed and accounted once per step and reused by every
+//      query that probes (see engine/shared_probe.hpp; disable with
+//      `share_probes = false` for per-query accounting identical to
+//      standalone Simulators).
+//
+// Determinism: per-query seeds derive from the engine seed via
+// splitmix_combine, and the shared probe is schedule-independent, so results
+// are bit-identical for any thread count or shard partition.
+//
+// Adaptive adversarial generators see the AdversaryView of query 0 (the
+// reference query); with many concurrent queries there is no single
+// algorithm state to adapt against, so the adversary torments the first.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/query.hpp"
+#include "engine/shard.hpp"
+#include "engine/shared_probe.hpp"
+#include "engine/snapshot.hpp"
+#include "engine/stats.hpp"
+#include "sim/stream.hpp"
+#include "util/thread_pool.hpp"
+
+namespace topkmon {
+
+struct EngineConfig {
+  std::size_t threads = 0;  ///< worker threads; 0 = hardware concurrency
+  std::uint64_t seed = 1;
+  bool share_probes = true;     ///< batch probe_top across queries per step
+  bool record_history = false;  ///< keep snapshot history (offline OPT input)
+  std::size_t shard_count = 0;  ///< number of shards; 0 = one per worker
+};
+
+class MonitoringEngine {
+ public:
+  MonitoringEngine(EngineConfig cfg, std::unique_ptr<StreamGenerator> gen);
+  ~MonitoringEngine();
+
+  MonitoringEngine(const MonitoringEngine&) = delete;
+  MonitoringEngine& operator=(const MonitoringEngine&) = delete;
+
+  /// Registers a query; must happen before the first step (query churn is a
+  /// planned extension). Returns the dense handle used for result lookup.
+  QueryHandle add_query(QuerySpec spec);
+
+  std::size_t query_count() const { return specs_.size(); }
+  std::size_t n() const { return gen_->n(); }
+  TimeStep time() const { return next_t_; }
+  const EngineConfig& config() const { return cfg_; }
+
+  /// Advances every query by one time step (t = 0 on the first call).
+  void step();
+
+  /// Runs `steps` time steps and returns aggregate + per-query statistics.
+  EngineStats run(TimeStep steps);
+
+  /// Statistics of everything executed so far.
+  EngineStats stats() const;
+
+  /// Per-query introspection (valid once the engine has started).
+  const Simulator& query_sim(QueryHandle h) const;
+  const OutputSet& output(QueryHandle h) const;
+
+  /// Shared snapshot history (empty unless cfg.record_history); recorded
+  /// once per step — not once per query.
+  const std::vector<ValueVector>& history() const { return history_; }
+
+ private:
+  void ensure_started();
+
+  EngineConfig cfg_;
+  std::unique_ptr<StreamGenerator> gen_;
+  Rng gen_rng_;
+  SharedProbe shared_probe_;
+  StepSnapshot step_snapshot_;
+
+  std::vector<QuerySpec> specs_;                     ///< handle order
+  std::vector<std::unique_ptr<Simulator>> pending_;  ///< until ensure_started
+
+  std::vector<EngineShard> shards_;
+  /// handle -> (shard index, position within shard); valid once started.
+  std::vector<std::pair<std::size_t, std::size_t>> locate_;
+
+  std::unique_ptr<ThreadPool> pool_;  ///< null = run shards inline
+  ValueVector snapshot_;
+  std::vector<ValueVector> history_;
+  TimeStep next_t_ = 0;
+  double elapsed_sec_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace topkmon

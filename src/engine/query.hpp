@@ -1,0 +1,37 @@
+// Query descriptors for the multi-query MonitoringEngine.
+//
+// A QuerySpec is everything one top-k-position monitoring query needs beyond
+// the shared fleet: which protocol to run, its (k, ε), whether to validate
+// strictly, and (optionally) an explicit seed. The engine returns a
+// QueryHandle — a dense index usable to look up per-query results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace topkmon {
+
+/// Dense per-engine query index (assigned in add_query order).
+using QueryHandle = std::uint32_t;
+
+struct QuerySpec {
+  std::string protocol = "combined";  ///< name from protocols/registry
+  std::size_t k = 3;
+  double epsilon = 0.1;
+  bool strict = false;  ///< oracle-validate output/filters after every step
+
+  /// Protocol-side seed. Unset: derived deterministically from the engine
+  /// seed and the handle via splitmix_combine, so distinct queries get
+  /// independent randomness and results are reproducible. Set explicitly to
+  /// make a query bit-identical to a standalone `Simulator` with that seed.
+  std::optional<std::uint64_t> seed;
+
+  /// Display name for stats tables; empty = synthesized from the fields.
+  std::string label;
+};
+
+/// "protocol k=.. eps=.." — default label used when spec.label is empty.
+std::string describe(const QuerySpec& spec);
+
+}  // namespace topkmon

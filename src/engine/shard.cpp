@@ -1,0 +1,19 @@
+#include "engine/shard.hpp"
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+void EngineShard::add(QueryHandle handle, std::unique_ptr<Simulator> sim) {
+  TOPKMON_ASSERT(sim != nullptr);
+  handles_.push_back(handle);
+  sims_.push_back(std::move(sim));
+}
+
+void EngineShard::step(const ValueVector& snapshot) {
+  for (auto& sim : sims_) {
+    sim->step_with(snapshot);
+  }
+}
+
+}  // namespace topkmon

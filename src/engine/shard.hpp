@@ -1,0 +1,36 @@
+// EngineShard — one worker's slice of the query set.
+//
+// A shard owns the Simulators (and through them the SimContexts) of the
+// queries assigned to it and advances them sequentially within a time step;
+// different shards run concurrently on the thread pool. Because every query
+// carries its own derived RNG streams and the only cross-shard touchpoint
+// (SharedProbe) is schedule-independent, results do not depend on the shard
+// partition or thread count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/query.hpp"
+#include "sim/simulator.hpp"
+
+namespace topkmon {
+
+class EngineShard {
+ public:
+  void add(QueryHandle handle, std::unique_ptr<Simulator> sim);
+
+  /// Advances every owned query by one step on the shared snapshot.
+  void step(const ValueVector& snapshot);
+
+  std::size_t size() const { return sims_.size(); }
+  QueryHandle handle(std::size_t i) const { return handles_[i]; }
+  Simulator& sim(std::size_t i) { return *sims_[i]; }
+  const Simulator& sim(std::size_t i) const { return *sims_[i]; }
+
+ private:
+  std::vector<QueryHandle> handles_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+};
+
+}  // namespace topkmon

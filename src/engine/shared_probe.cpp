@@ -1,0 +1,59 @@
+#include "engine/shared_probe.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "protocols/existence.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+SharedProbe::SharedProbe(std::uint64_t seed)
+    : rng_(Rng::derive(seed, /*stream_id=*/0x5A4ED)) {}
+
+void SharedProbe::begin_step(const ValueVector* snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TOPKMON_ASSERT(snapshot != nullptr);
+  snapshot_ = snapshot;
+  cache_.clear();
+  excluded_.assign(snapshot_->size(), false);
+  exhausted_ = snapshot_->empty();
+  stats_.begin_step();
+}
+
+std::vector<ProbeResult> SharedProbe::top(std::size_t m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TOPKMON_ASSERT_MSG(snapshot_ != nullptr, "SharedProbe::top before begin_step");
+  ++calls_;
+  extend_locked(m);
+  const std::size_t take = std::min(m, cache_.size());
+  return {cache_.begin(), cache_.begin() + static_cast<std::ptrdiff_t>(take)};
+}
+
+void SharedProbe::extend_locked(std::size_t m) {
+  const ValueVector& values = *snapshot_;
+  while (cache_.size() < m && !exhausted_) {
+    // One Lemma 2.6 sample_max over the non-excluded nodes, with the exact
+    // accounting SimContext::sample_max applies (shared core loop).
+    auto best = SimContext::sample_max_over(
+        values.size(),
+        [&](NodeId i, const std::optional<ProbeResult>& so_far) {
+          if (excluded_[i]) return false;
+          if (!so_far) return true;
+          return ranks_above(values[i], i, so_far->value, so_far->id);
+        },
+        [&](NodeId i) { return values[i]; }, stats_, rng_);
+    if (!best) {
+      exhausted_ = true;
+      break;
+    }
+    excluded_[best->id] = true;
+    cache_.push_back(*best);
+    ++ranks_computed_;
+    if (cache_.size() == values.size()) {
+      exhausted_ = true;
+    }
+  }
+}
+
+}  // namespace topkmon

@@ -1,0 +1,29 @@
+#include "engine/snapshot.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "model/oracle.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+void StepSnapshot::begin_step(const ValueVector& values) {
+  values_ = &values;
+  sorted_desc_.assign(values.begin(), values.end());
+  std::sort(sorted_desc_.begin(), sorted_desc_.end(), std::greater<Value>());
+  sigma_cache_.clear();
+}
+
+std::size_t StepSnapshot::sigma(std::size_t k, double epsilon) {
+  TOPKMON_ASSERT(values_ != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : sigma_cache_) {
+    if (e.k == k && e.epsilon == epsilon) return e.sigma;
+  }
+  const std::size_t s = Oracle::sigma_sorted(sorted_desc_, k, epsilon);
+  sigma_cache_.push_back({k, epsilon, s});
+  return s;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,46 @@
+// StepSnapshot — the engine's shared per-step view of the fleet.
+//
+// Every query of an engine observes the same observation vector, so
+// value-only derived quantities are computed once per step and shared:
+// the descending sort of the values, and σ(t) per distinct (k, ε) — the
+// validator-side quantity every query's Simulator tracks, which standalone
+// costs an O(n log n) sort + allocations per query per step. All cached
+// quantities are pure functions of the snapshot (no randomness), so sharing
+// is exact and schedule-independent.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+class StepSnapshot {
+ public:
+  /// Points the snapshot at the step's observation vector (borrowed; must
+  /// outlive the step) and invalidates the caches. Called serially by the
+  /// engine before shards run.
+  void begin_step(const ValueVector& values);
+
+  const ValueVector& values() const { return *values_; }
+
+  /// σ(t) for (k, ε) on the current snapshot; cached, thread-safe, and
+  /// identical to Oracle::sigma on the same values.
+  std::size_t sigma(std::size_t k, double epsilon);
+
+ private:
+  const ValueVector* values_ = nullptr;
+  ValueVector sorted_desc_;
+
+  struct SigmaEntry {
+    std::size_t k;
+    double epsilon;
+    std::size_t sigma;
+  };
+  std::mutex mu_;
+  std::vector<SigmaEntry> sigma_cache_;  ///< few distinct (k, ε); linear scan
+};
+
+}  // namespace topkmon

@@ -1,0 +1,48 @@
+#include "engine/stats.hpp"
+
+#include <sstream>
+
+namespace topkmon {
+
+std::string describe(const QuerySpec& spec) {
+  if (!spec.label.empty()) return spec.label;
+  std::ostringstream oss;
+  oss << spec.protocol << " k=" << spec.k << " eps=" << format_double(spec.epsilon, 3);
+  return oss.str();
+}
+
+Table EngineStats::per_query_table(const std::string& title) const {
+  Table t(title);
+  t.header({"query", "label", "k", "eps", "messages", "msgs/step", "max rounds",
+            "output F(T)"});
+  for (const auto& q : queries) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < q.output.size(); ++i) {
+      out += std::to_string(q.output[i]) + (i + 1 < q.output.size() ? "," : "");
+    }
+    out += "}";
+    t.add_row({std::to_string(q.handle), q.label, std::to_string(q.k),
+               format_double(q.epsilon, 3), format_count(q.run.messages),
+               format_double(q.run.messages_per_step, 2),
+               format_count(q.run.max_rounds_per_step), out});
+  }
+  return t;
+}
+
+Table EngineStats::summary_table(const std::string& title) const {
+  Table t(title);
+  t.header({"metric", "value"});
+  t.add_row({"queries", format_count(queries.size())});
+  t.add_row({"steps", format_count(steps)});
+  t.add_row({"query messages", format_count(query_messages)});
+  t.add_row({"shared probe messages", format_count(shared_probe_messages)});
+  t.add_row({"total messages", format_count(total_messages)});
+  t.add_row({"shared probe calls", format_count(probe_calls)});
+  t.add_row({"shared probe ranks computed", format_count(probe_ranks_computed)});
+  t.add_row({"elapsed (s)", format_double(elapsed_sec, 3)});
+  t.add_row({"steps / s", format_double(steps_per_sec, 1)});
+  t.add_row({"query-steps / s", format_double(query_steps_per_sec, 1)});
+  return t;
+}
+
+}  // namespace topkmon

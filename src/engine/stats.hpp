@@ -1,0 +1,48 @@
+// EngineStats — aggregate + per-query statistics of a MonitoringEngine run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/query.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace topkmon {
+
+/// One query's view of an engine run: its spec, its individually accounted
+/// communication (RunResult, same semantics as Simulator::result) and its
+/// final output set.
+struct QueryStats {
+  QueryHandle handle = 0;
+  std::string label;
+  std::string protocol;
+  std::size_t k = 0;
+  double epsilon = 0.0;
+  RunResult run;
+  OutputSet output;
+};
+
+struct EngineStats {
+  std::vector<QueryStats> queries;  ///< in handle order
+
+  std::uint64_t steps = 0;
+  std::uint64_t query_messages = 0;         ///< Σ per-query accounted messages
+  std::uint64_t shared_probe_messages = 0;  ///< once-per-step shared probing
+  std::uint64_t total_messages = 0;         ///< query + shared
+  std::uint64_t probe_calls = 0;           ///< probe_top requests served shared
+  std::uint64_t probe_ranks_computed = 0;  ///< ranks computed (once per step)
+
+  double elapsed_sec = 0.0;
+  double steps_per_sec = 0.0;        ///< engine time steps per wall second
+  double query_steps_per_sec = 0.0;  ///< steps × Q per wall second (vs serial)
+
+  /// Per-query breakdown table.
+  Table per_query_table(const std::string& title) const;
+
+  /// One-table aggregate summary.
+  Table summary_table(const std::string& title) const;
+};
+
+}  // namespace topkmon

@@ -50,6 +50,21 @@ std::size_t Oracle::sigma(std::span<const Value> values, std::size_t k, double e
   return neighborhood(values, k, epsilon).size();
 }
 
+std::size_t Oracle::sigma_sorted(std::span<const Value> sorted_desc, std::size_t k,
+                                 double epsilon) {
+  TOPKMON_ASSERT(k >= 1 && k <= sorted_desc.size());
+  const Value vk = sorted_desc[k - 1];
+  std::size_t count = 0;
+  for (const Value v : sorted_desc) {
+    if (in_neighborhood(v, vk, epsilon)) {
+      ++count;
+    } else if (v < vk) {
+      break;  // sorted: everything further is below the band too
+    }
+  }
+  return count;
+}
+
 bool Oracle::output_valid(std::span<const Value> values, std::size_t k, double epsilon,
                           const OutputSet& output) {
   return explain_invalid(values, k, epsilon, output).empty();

@@ -61,6 +61,12 @@ class Oracle {
   /// σ(t) = |K(t)|.
   static std::size_t sigma(std::span<const Value> values, std::size_t k, double epsilon);
 
+  /// σ(t) from values already sorted descending — O(n) without allocation
+  /// (the neighborhood is a contiguous range of the sorted order). Used by
+  /// the engine's shared snapshot so Q queries sort once, not Q times.
+  static std::size_t sigma_sorted(std::span<const Value> sorted_desc, std::size_t k,
+                                  double epsilon);
+
   /// Output correctness per Sect. 2: |F| = k, every clearly-larger node is in
   /// F, and every remaining member of F lies in the ε-neighborhood.
   static bool output_valid(std::span<const Value> values, std::size_t k, double epsilon,

@@ -61,16 +61,28 @@ ExistenceResult SimContext::collect_violations() {
 
 std::optional<SimContext::ProbeResult> SimContext::sample_max(
     const std::function<bool(const Node&)>& pred) {
+  // Node-side bit: "I satisfy pred and I rank above the announced best".
+  return sample_max_over(
+      nodes_.size(),
+      [&](NodeId i, const std::optional<ProbeResult>& best) {
+        const Node& node = nodes_[i];
+        if (!pred(node)) return false;
+        if (!best) return true;
+        return ranks_above(node.value(), node.id(), best->value, best->id);
+      },
+      [&](NodeId i) { return nodes_[i].value(); }, stats_, rng_);
+}
+
+std::optional<SimContext::ProbeResult> SimContext::sample_max_over(
+    std::size_t n,
+    const std::function<bool(NodeId, const std::optional<ProbeResult>&)>& candidate,
+    const std::function<Value(NodeId)>& value, CommStats& stats, Rng& rng) {
   std::optional<ProbeResult> best;
   for (;;) {
-    // Node-side bit: "I satisfy pred and I rank above the announced best".
-    auto res = existence(
-        [&](const Node& node) {
-          if (!pred(node)) return false;
-          if (!best) return true;
-          return ranks_above(node.value(), node.id(), best->value, best->id);
-        },
-        MessageTag::kProbe);
+    auto res = ExistenceProtocol::run(
+        n, [&](NodeId i) { return candidate(i, best); }, value, rng);
+    stats.count(MessageKind::kNodeToServer, MessageTag::kProbe, res.messages);
+    stats.add_rounds(res.rounds);
     if (!res.any) break;
     for (const auto& hit : res.senders) {
       if (!best || ranks_above(hit.value, hit.id, best->value, best->id)) {
@@ -78,12 +90,17 @@ std::optional<SimContext::ProbeResult> SimContext::sample_max(
       }
     }
     // Announce the improved threshold so nodes at or below it deactivate.
-    broadcast(MessageTag::kProbe);
+    stats.count(MessageKind::kBroadcast, MessageTag::kProbe);
   }
   return best;
 }
 
 std::vector<SimContext::ProbeResult> SimContext::probe_top(std::size_t m) {
+  if (probe_sharer_ != nullptr) {
+    // The global top-m is query-independent; one shared probe per step serves
+    // every query, and the sharer accounts its cost exactly once.
+    return probe_sharer_->top(m);
+  }
   std::vector<ProbeResult> out;
   std::vector<bool> excluded(nodes_.size(), false);
   for (std::size_t j = 0; j < m; ++j) {

@@ -38,6 +38,28 @@ struct SimParams {
   double epsilon = 0.1;
 };
 
+/// One node's answer to a probe: its id and the value it reported.
+struct ProbeResult {
+  NodeId id;
+  Value value;
+};
+
+/// Cross-query probe batching hook (engine-level work sharing).
+///
+/// `probe_top(m)` asks for the global top-m by (value, id) — a predicate that
+/// is identical for every query monitoring the same fleet within one time
+/// step. When a sharer is installed, SimContext routes `probe_top` through it
+/// so that one probe round serves all queries of the step; the sharer books
+/// the messages once (in its own CommStats), not per calling query.
+class ProbeSharer {
+ public:
+  virtual ~ProbeSharer() = default;
+
+  /// Top-m nodes (descending rank order; shorter if the fleet is smaller).
+  /// Must be safe to call from concurrent shards.
+  virtual std::vector<ProbeResult> top(std::size_t m) = 0;
+};
+
 class SimContext {
  public:
   SimContext(SimParams params, std::uint64_t protocol_seed);
@@ -81,14 +103,21 @@ class SimContext {
   /// violation direction from the value vs the node's (server-known) filter.
   ExistenceResult collect_violations();
 
-  struct ProbeResult {
-    NodeId id;
-    Value value;
-  };
+  using ProbeResult = ::topkmon::ProbeResult;
 
   /// Lemma 2.6: the node holding the maximum (value, id-tiebreak) among
   /// nodes satisfying `pred`; nullopt if none. O(log n) messages expected.
   std::optional<ProbeResult> sample_max(const std::function<bool(const Node&)>& pred);
+
+  /// The core Lemma 2.6 threshold-sampling loop, shared by sample_max and
+  /// the engine's SharedProbe so both book identical costs: existence sends
+  /// as node→server kProbe messages (+rounds), one kProbe broadcast per
+  /// improvement. `candidate(i, best)` is the node-side activity bit given
+  /// the announced best-so-far.
+  static std::optional<ProbeResult> sample_max_over(
+      std::size_t n,
+      const std::function<bool(NodeId, const std::optional<ProbeResult>&)>& candidate,
+      const std::function<Value(NodeId)>& value, CommStats& stats, Rng& rng);
 
   /// Top-m nodes overall by repeated sample_max with exclusion; descending
   /// rank order. O(m log n) messages expected.
@@ -106,12 +135,18 @@ class SimContext {
   /// Direct filter write without accounting — simulator/test setup only.
   void set_filter_free(NodeId i, const Filter& f) { nodes_[i].set_filter(f); }
 
+  /// Installs (or clears, with nullptr) the cross-query probe batching hook;
+  /// the sharer must outlive this context. Engine plumbing only.
+  void set_probe_sharer(ProbeSharer* sharer) { probe_sharer_ = sharer; }
+  ProbeSharer* probe_sharer() const { return probe_sharer_; }
+
  private:
   SimParams params_;
   std::vector<Node> nodes_;
   CommStats stats_;
   Rng rng_;
   TimeStep time_ = -1;
+  ProbeSharer* probe_sharer_ = nullptr;
 };
 
 }  // namespace topkmon

@@ -18,15 +18,31 @@ Simulator::Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
   scratch_values_.resize(gen_->n());
 }
 
+Simulator::Simulator(SimConfig cfg, std::size_t n,
+                     std::unique_ptr<MonitoringProtocol> protocol)
+    : cfg_(cfg),
+      gen_(nullptr),
+      protocol_(std::move(protocol)),
+      ctx_(SimParams{n, cfg.k, cfg.epsilon}, cfg.seed),
+      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)) {
+  TOPKMON_ASSERT(protocol_ != nullptr);
+}
+
 void Simulator::step() {
-  ctx_.stats().begin_step();
+  TOPKMON_ASSERT_MSG(gen_ != nullptr,
+                     "Simulator without generator must be driven via step_with()");
   if (next_t_ == 0) {
     gen_->init(scratch_values_, gen_rng_);
   } else {
     const AdversaryView view{ctx_.nodes(), &protocol_->output(), cfg_.k, cfg_.epsilon};
     gen_->step(next_t_, view, scratch_values_, gen_rng_);
   }
-  ctx_.advance_time(scratch_values_);
+  step_with(scratch_values_);
+}
+
+void Simulator::step_with(const ValueVector& values) {
+  ctx_.stats().begin_step();
+  ctx_.advance_time(values);
 
   if (next_t_ == 0) {
     protocol_->start(ctx_);
@@ -34,19 +50,20 @@ void Simulator::step() {
     protocol_->on_step(ctx_);
   }
 
-  const std::size_t sigma = Oracle::sigma(scratch_values_, cfg_.k, cfg_.epsilon);
+  const std::size_t sigma = sigma_hook_
+                                ? sigma_hook_(cfg_.k, cfg_.epsilon)
+                                : Oracle::sigma(values, cfg_.k, cfg_.epsilon);
   max_sigma_ = std::max(max_sigma_, sigma);
   if (cfg_.record_history) {
-    history_.push_back(scratch_values_);
+    history_.push_back(values);
   }
   if (cfg_.strict) {
-    validate_strict();
+    validate_strict(values);
   }
   ++next_t_;
 }
 
-void Simulator::validate_strict() const {
-  const auto values = scratch_values_;
+void Simulator::validate_strict(const ValueVector& values) const {
   const auto& out = protocol_->output();
   const std::string why = Oracle::explain_invalid(values, cfg_.k, cfg_.epsilon, out);
   TOPKMON_ASSERT_MSG(why.empty(), ("output invalid at t=" + std::to_string(next_t_) +

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "sim/context.hpp"
 #include "sim/protocol.hpp"
 #include "sim/stream.hpp"
+#include "util/assert.hpp"
 
 namespace topkmon {
 
@@ -43,8 +45,19 @@ class Simulator {
   Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
             std::unique_ptr<MonitoringProtocol> protocol);
 
+  /// Externally-driven simulator: no generator; observation vectors are
+  /// injected per step via `step_with`. Used by the MonitoringEngine, which
+  /// runs one shared generator for many query simulators.
+  Simulator(SimConfig cfg, std::size_t n,
+            std::unique_ptr<MonitoringProtocol> protocol);
+
   /// Advances one time step (t = 0 on the first call).
   void step();
+
+  /// Snapshot hook: advances one time step with an externally supplied
+  /// observation vector (size n). Usable with or without a generator; the
+  /// generator, if any, is bypassed for this step.
+  void step_with(const ValueVector& values);
 
   /// Runs `steps` time steps and returns aggregate statistics.
   RunResult run(TimeStep steps);
@@ -55,7 +68,12 @@ class Simulator {
   SimContext& context() { return ctx_; }
   const SimContext& context() const { return ctx_; }
   MonitoringProtocol& protocol() { return *protocol_; }
-  const StreamGenerator& generator() const { return *gen_; }
+  const MonitoringProtocol& protocol() const { return *protocol_; }
+  bool has_generator() const { return gen_ != nullptr; }
+  const StreamGenerator& generator() const {
+    TOPKMON_ASSERT_MSG(gen_ != nullptr, "externally-driven Simulator has no generator");
+    return *gen_;
+  }
 
   /// Recorded observation history (empty unless cfg.record_history).
   const std::vector<ValueVector>& history() const { return history_; }
@@ -63,8 +81,14 @@ class Simulator {
   std::size_t max_sigma() const { return max_sigma_; }
   const SimConfig& config() const { return cfg_; }
 
+  /// Engine hook: supplies σ(t) for (k, ε) on the current step's values in
+  /// place of the per-simulator Oracle::sigma recomputation. Must return the
+  /// identical quantity (shared-snapshot memoization, not approximation).
+  using SigmaFn = std::function<std::size_t(std::size_t k, double epsilon)>;
+  void set_sigma_hook(SigmaFn fn) { sigma_hook_ = std::move(fn); }
+
  private:
-  void validate_strict() const;
+  void validate_strict(const ValueVector& values) const;
 
   SimConfig cfg_;
   std::unique_ptr<StreamGenerator> gen_;
@@ -73,6 +97,7 @@ class Simulator {
   Rng gen_rng_;
   ValueVector scratch_values_;
   std::vector<ValueVector> history_;
+  SigmaFn sigma_hook_;
   std::size_t max_sigma_ = 0;
   TimeStep next_t_ = 0;
 };

@@ -4,19 +4,33 @@
 
 namespace topkmon {
 
-void Trace::emit(TimeStep t, std::string category, std::string detail) {
-  if (!enabled()) return;
-  events_.push_back(TraceEvent{t, std::move(category), std::move(detail)});
-  trim();
+void Trace::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_.store(capacity, std::memory_order_relaxed);
+  trim_locked();
 }
 
-void Trace::trim() {
-  while (events_.size() > capacity_) {
+void Trace::emit(TimeStep t, std::string category, std::string detail) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{t, std::move(category), std::move(detail)});
+  trim_locked();
+}
+
+void Trace::trim_locked() {
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  while (events_.size() > cap) {
     events_.pop_front();
   }
 }
 
+std::vector<TraceEvent> Trace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
 std::vector<std::string> Trace::render() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(events_.size());
   for (const auto& e : events_) {
@@ -25,6 +39,11 @@ std::vector<std::string> Trace::render() const {
     out.push_back(oss.str());
   }
   return out;
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
 }
 
 Trace& Trace::global() {

@@ -3,10 +3,19 @@
 // Protocols may emit trace events (phase changes, violations handled,
 // interval updates); the trace keeps the most recent `capacity` events.
 // Disabled (capacity 0) it is a no-op with negligible cost.
+//
+// Emission is thread-safe: `Trace::global()` is process-wide and the
+// shard-parallel MonitoringEngine advances queries from several worker
+// threads, so emit/render/clear/snapshot serialize on an internal mutex
+// (the enabled() fast path is a single relaxed atomic load). `events()`
+// returns a reference into live storage and is for single-threaded use;
+// concurrent readers should take `snapshot()`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,22 +33,28 @@ class Trace {
  public:
   explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
 
-  void set_capacity(std::size_t capacity) { capacity_ = capacity; trim(); }
-  bool enabled() const { return capacity_ > 0; }
+  void set_capacity(std::size_t capacity);
+  bool enabled() const { return capacity_.load(std::memory_order_relaxed) > 0; }
 
   void emit(TimeStep t, std::string category, std::string detail);
 
+  /// Live storage; external synchronization required while writers exist.
   const std::deque<TraceEvent>& events() const { return events_; }
+
+  /// Consistent copy of the current events — safe under concurrent emit().
+  std::vector<TraceEvent> snapshot() const;
+
   std::vector<std::string> render() const;
-  void clear() { events_.clear(); }
+  void clear();
 
   /// Process-global trace used by protocols (examples switch it on).
   static Trace& global();
 
  private:
-  void trim();
+  void trim_locked();
 
-  std::size_t capacity_;
+  std::atomic<std::size_t> capacity_;
+  mutable std::mutex mu_;
   std::deque<TraceEvent> events_;
 };
 

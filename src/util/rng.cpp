@@ -14,6 +14,11 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t splitmix_combine(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
+  return splitmix64(s);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

@@ -16,6 +16,10 @@ namespace topkmon {
 /// splitmix64 step; used for seeding and for deriving independent streams.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Mixes a salt into a master seed (per-trial / per-cell / per-query seed
+/// derivation for sweeps and the multi-query engine).
+std::uint64_t splitmix_combine(std::uint64_t seed, std::uint64_t salt);
+
 /// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
 class Rng {
  public:

@@ -72,6 +72,50 @@ TEST(Runner, SweepPreservesOrderAndDeterminism) {
   }
 }
 
+TEST(Runner, EngineGroupedSweepMatchesPerCellResults) {
+  // Rows sharing one stream config (protocol comparison at fixed k/ε) are
+  // multiplexed through the MonitoringEngine; per-cell results must stay
+  // bit-identical to the one-Simulator-per-cell path.
+  std::vector<SweepRow> rows;
+  for (const std::string protocol :
+       {"combined", "topk_protocol", "half_error", "naive_central"}) {
+    auto cfg = small_cfg();
+    cfg.protocol = protocol;
+    rows.push_back({protocol, cfg});
+  }
+  const auto grouped = run_sweep(rows, 2);
+  ASSERT_EQ(grouped.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto serial = run_experiment(rows[i].cfg);
+    EXPECT_EQ(grouped[i].messages.samples(), serial.messages.samples()) << i;
+    EXPECT_EQ(grouped[i].opt_phases.samples(), serial.opt_phases.samples()) << i;
+    EXPECT_EQ(grouped[i].ratio.samples(), serial.ratio.samples()) << i;
+    EXPECT_EQ(grouped[i].max_sigma.samples(), serial.max_sigma.samples()) << i;
+    EXPECT_EQ(grouped[i].max_rounds.samples(), serial.max_rounds.samples()) << i;
+    EXPECT_EQ(grouped[i].last_run.messages, serial.last_run.messages) << i;
+  }
+}
+
+TEST(Runner, AdaptiveStreamsKeepPerCellPath) {
+  // lb_adversary adapts against the monitored protocol; grouping cells
+  // would change what each protocol sees, so the sweep must not group them.
+  std::vector<SweepRow> rows;
+  for (const std::string protocol : {"combined", "topk_protocol"}) {
+    auto cfg = small_cfg();
+    cfg.stream.kind = "lb_adversary";
+    cfg.stream.sigma = 4;
+    cfg.protocol = protocol;
+    cfg.strict = false;
+    cfg.opt_kind = OptKind::kNone;
+    rows.push_back({protocol, cfg});
+  }
+  const auto swept = run_sweep(rows, 2);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto serial = run_experiment(rows[i].cfg);
+    EXPECT_EQ(swept[i].messages.samples(), serial.messages.samples()) << i;
+  }
+}
+
 TEST(SplitmixCombine, DistinctSalts) {
   const auto a = splitmix_combine(7, 0);
   const auto b = splitmix_combine(7, 1);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace topkmon {
 namespace {
 
@@ -52,6 +55,44 @@ TEST(Trace, ClearEmpties) {
   t.emit(0, "e", "");
   t.clear();
   EXPECT_TRUE(t.events().empty());
+}
+
+// Regression: Trace::global() used to be a bare deque — concurrent emission
+// from the shard-parallel engine corrupted it. Emission now serializes on an
+// internal mutex; hammer it from many threads and check the bound holds.
+TEST(Trace, ConcurrentEmissionIsSafe) {
+  Trace t(64);
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&t, w] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        t.emit(i, "shard" + std::to_string(w), std::to_string(i));
+        if (i % 256 == 0) {
+          (void)t.snapshot();  // concurrent readers are legal too
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto events = t.snapshot();
+  EXPECT_EQ(events.size(), 64u);
+  EXPECT_EQ(t.render().size(), 64u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.category.substr(0, 5), "shard");
+  }
+}
+
+TEST(Trace, SnapshotCopiesEvents) {
+  Trace t(4);
+  t.emit(1, "a", "x");
+  auto snap = t.snapshot();
+  t.emit(2, "b", "y");
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].category, "a");
+  EXPECT_EQ(t.events().size(), 2u);
 }
 
 TEST(Trace, GlobalSingleton) {
