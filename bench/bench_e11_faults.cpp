@@ -1,0 +1,135 @@
+// E11 — protocols under a degraded fleet: churn rate × loss rate × protocol.
+//
+// The paper's cost model assumes a static fleet on reliable links; this
+// sweep measures what each protocol pays when that assumption breaks
+// (src/faults). Shapes to check:
+//   * the (churn 0, loss 0) row of every protocol matches the fault-free
+//     baseline exactly — the zero schedule is a strict no-op;
+//   * loss inflates messages by exactly the retransmission count
+//     (messages = fault-free protocol cost + lost), linearly in p/(1−p);
+//   * churn adds recovery rounds whose cost is protocol-dependent: the
+//     naive monitors recover for free (they re-collect anyway), the
+//     filter-based protocols pay a re-validation burst per membership change;
+//   * stale reads scale with straggler count × delay, not with the protocol.
+#include "bench_common.hpp"
+#include "faults/registry.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+
+namespace {
+
+StreamSpec fleet_spec(std::size_t n) {
+  StreamSpec spec;
+  spec.kind = "zipf_bursty";
+  spec.n = n;
+  spec.k = 4;
+  spec.epsilon = 0.1;
+  spec.sigma = 16;
+  spec.delta = 1 << 16;
+  return spec;
+}
+
+struct CellResult {
+  double messages_per_step = 0.0;
+  double lost_per_step = 0.0;
+  double stale_per_step = 0.0;
+  double recoveries = 0.0;
+};
+
+CellResult run_cell(const std::string& protocol, double churn, double loss,
+                    const BenchArgs& args, std::size_t n) {
+  CellResult cell;
+  for (std::size_t trial = 0; trial < args.trials; ++trial) {
+    FaultConfig fcfg;
+    fcfg.churn_rate = churn;
+    fcfg.loss = loss;
+    fcfg.straggler_fraction = 0.0;  // isolated axes: churn × loss only
+    fcfg.horizon = args.steps;
+    fcfg.seed = splitmix_combine(args.seed, trial);
+
+    SimConfig cfg;
+    cfg.k = 4;
+    cfg.epsilon = 0.1;
+    cfg.seed = splitmix_combine(args.seed, 1000 + trial);
+    cfg.faults = make_fleet_schedule(fcfg, n);
+    Simulator sim(cfg, make_stream(fleet_spec(n)), make_protocol(protocol));
+    const RunResult r = sim.run(args.steps);
+
+    const double steps = static_cast<double>(r.steps);
+    cell.messages_per_step += static_cast<double>(r.messages) / steps;
+    cell.lost_per_step += static_cast<double>(r.messages_lost) / steps;
+    cell.stale_per_step += static_cast<double>(r.stale_reads) / steps;
+    cell.recoveries += static_cast<double>(r.recovery_rounds);
+  }
+  const double t = static_cast<double>(args.trials);
+  cell.messages_per_step /= t;
+  cell.lost_per_step /= t;
+  cell.stale_per_step /= t;
+  cell.recoveries /= t;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::size_t n = 64;
+  const std::vector<std::string> protocols{"combined", "topk_protocol",
+                                           "half_error", "naive_change"};
+  const std::vector<double> churn_rates{0.0, 0.01, 0.05};
+  const std::vector<double> loss_rates{0.0, 0.02, 0.1};
+
+  Table t("E11 — faults: churn × loss × protocol (zipf_bursty, n=" +
+          std::to_string(n) + ", k=4, ε=0.1, " + std::to_string(args.steps) +
+          " steps, " + std::to_string(args.trials) +
+          " trials, seed=" + std::to_string(args.seed) + ")");
+  t.header({"protocol", "churn", "loss", "msgs/step", "lost/step",
+            "stale/step", "recoveries"});
+
+  for (const std::string& protocol : protocols) {
+    for (const double churn : churn_rates) {
+      for (const double loss : loss_rates) {
+        const CellResult cell = run_cell(protocol, churn, loss, args, n);
+        t.add_row({protocol, format_double(churn, 3), format_double(loss, 3),
+                   format_double(cell.messages_per_step, 2),
+                   format_double(cell.lost_per_step, 2),
+                   format_double(cell.stale_per_step, 2),
+                   format_double(cell.recoveries, 1)});
+      }
+    }
+  }
+  bench::emit(t, args);
+
+  // Second table: stragglers in isolation (fraction × max delay, one
+  // protocol) — stale reads are injector-side and protocol-independent.
+  Table s("E11b — stragglers: fraction × max delay (combined, n=" +
+          std::to_string(n) + ", " + std::to_string(args.steps) + " steps)");
+  s.header({"fraction", "max delay", "msgs/step", "stale/step"});
+  for (const double frac : {0.125, 0.25, 0.5}) {
+    for (const std::size_t delay : {2u, 8u, 32u}) {
+      FaultConfig fcfg;
+      fcfg.straggler_fraction = frac;
+      fcfg.max_delay = delay;
+      fcfg.horizon = args.steps;
+      fcfg.seed = args.seed;
+
+      SimConfig cfg;
+      cfg.k = 4;
+      cfg.epsilon = 0.1;
+      cfg.seed = args.seed;
+      cfg.faults = make_fleet_schedule(fcfg, n);
+      Simulator sim(cfg, make_stream(fleet_spec(n)), make_protocol("combined"));
+      const RunResult r = sim.run(args.steps);
+      const double steps = static_cast<double>(r.steps);
+      s.add_row({format_double(frac, 3), std::to_string(delay),
+                 format_double(static_cast<double>(r.messages) / steps, 2),
+                 format_double(static_cast<double>(r.stale_reads) / steps, 2)});
+    }
+  }
+  bench::emit(s, args);
+  return 0;
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a bench --json run against a baseline.
+
+Usage:
+  check_bench.py --current bench_e10.json --baseline bench/bench_baseline.json
+                 [--tolerance 0.2] [--metric "query-steps/s"]
+  check_bench.py --current bench_e10.json --write-baseline bench/bench_baseline.json
+
+Rows are matched across files by their key columns (every column that is not
+a measurement). Two classes of checks:
+
+  * deterministic counters ("messages", "serial messages", "shared probe
+    msgs", "identical") must match EXACTLY — the simulator is bit-reproducible
+    across machines, so any drift is a real behavioral change, not noise;
+  * the throughput metric (default "query-steps/s") must not regress below
+    (1 - tolerance) x baseline. Hardware differs between the machine that
+    wrote the baseline and the one checking, so this gate only means much
+    when CI refreshes the baseline on main pushes (see .github/workflows):
+    then both sides ran on the same runner class.
+
+Exit status: 0 = pass, 1 = regression/mismatch, 2 = usage or file error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Columns whose values are deterministic counters: exact match required.
+EXACT_COLUMNS = {"messages", "serial messages", "shared probe msgs", "identical"}
+# Columns that are wall-clock measurements: never compared directly (the
+# throughput metric below is the one gated, with tolerance).
+NOISY_COLUMNS = {"engine ms", "serial ms", "speedup", "ns/step", "query-steps/s",
+                 "elapsed (s)", "steps / s", "msgs/step", "lost/step",
+                 "stale/step"}
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def row_key(row: dict, metric: str) -> tuple:
+    """Key columns = everything that is neither noisy nor the gated metric."""
+    return tuple(
+        (k, v) for k, v in sorted(row.items())
+        if k != metric and k not in NOISY_COLUMNS and k not in EXACT_COLUMNS
+    )
+
+
+def index_rows(doc: dict, metric: str) -> dict:
+    out = {}
+    for table in doc.get("tables", []):
+        for row in table.get("rows", []):
+            out[(table.get("title", ""), row_key(row, metric))] = row
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, help="fresh bench --json output")
+    ap.add_argument("--baseline", help="checked-in baseline to compare against")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write/refresh the baseline from --current and exit")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional throughput regression (default 0.2)")
+    ap.add_argument("--metric", default="query-steps/s",
+                    help="throughput column gated with tolerance")
+    args = ap.parse_args()
+
+    current = load(args.current)
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"check_bench: baseline written to {args.write_baseline}")
+        return 0
+
+    if not args.baseline:
+        ap.error("one of --baseline / --write-baseline is required")
+
+    baseline = load(args.baseline)
+    base_rows = index_rows(baseline, args.metric)
+    cur_rows = index_rows(current, args.metric)
+
+    failures: list[str] = []
+    checked = 0
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        label = ", ".join(f"{k}={v}" for k, v in key[1])
+        if cur is None:
+            failures.append(f"row missing from current run: [{label}]")
+            continue
+
+        for col in EXACT_COLUMNS & base.keys() & cur.keys():
+            if base[col] != cur[col]:
+                failures.append(
+                    f"[{label}] {col}: {cur[col]} != baseline {base[col]} "
+                    "(deterministic counter — behavioral change)")
+            checked += 1
+
+        if args.metric in base and args.metric in cur:
+            b, c = float(base[args.metric]), float(cur[args.metric])
+            floor = b * (1.0 - args.tolerance)
+            if c < floor:
+                failures.append(
+                    f"[{label}] {args.metric}: {c:.0f} < {floor:.0f} "
+                    f"(baseline {b:.0f} - {args.tolerance:.0%})")
+            elif c > b * (1.0 + args.tolerance):
+                print(f"check_bench: note: [{label}] {args.metric} improved "
+                      f"{b:.0f} -> {c:.0f}; consider refreshing the baseline")
+            checked += 1
+
+    if not base_rows:
+        failures.append("baseline contains no rows")
+
+    if failures:
+        print(f"check_bench: FAIL — {len(failures)} issue(s) over {checked} checks:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"check_bench: OK — {checked} checks against {len(base_rows)} baseline rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 //   $ topk_engine --q 32 --stream zipf_bursty --n 64 --k 4 --eps 0.1
 //                 --protocol combined --steps 1000 --threads 8 --seed 42
 //                 [--mixed] [--strict] [--no-share] [--per-query] [--markdown]
+//                 [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
+//                 [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
 //
 // Runs Q concurrent top-k-position queries over one fleet through the
 // MonitoringEngine and prints the aggregate (and optionally per-query)
@@ -10,11 +12,15 @@
 // real multi-tenant deployment would; without it all queries share the
 // protocol/k/ε flags. `--no-share` disables cross-query probe batching (one
 // probe round per query, as in one-Simulator-per-query serving).
-// `--list` enumerates registered protocols and stream kinds.
+// Fault flags degrade the fleet (src/faults): churn, stragglers, lossy
+// links — individually or via a named preset; every query observes the same
+// degraded fleet and books its own loss/recovery metrics.
+// `--list` enumerates registered protocols, stream kinds and fault presets.
 #include <algorithm>
 #include <iostream>
 
 #include "engine/engine.hpp"
+#include "faults/registry.hpp"
 #include "protocols/registry.hpp"
 #include "streams/registry.hpp"
 #include "util/flags.hpp"
@@ -29,6 +35,8 @@ int list_registry() {
   for (const auto& p : protocol_names()) std::cout << " " << p;
   std::cout << "\nstreams:  ";
   for (const auto& s : stream_kinds()) std::cout << " " << s;
+  std::cout << "\nfaults:   ";
+  for (const auto& f : fault_preset_names()) std::cout << " " << f;
   std::cout << "\n";
   return 0;
 }
@@ -70,6 +78,7 @@ int main(int argc, char** argv) {
   const std::string protocol = flags.get_string("protocol", "combined");
 
   try {
+    cfg.faults = make_fleet_schedule(fault_config_from_flags(flags, steps), spec.n);
     MonitoringEngine engine(cfg, make_stream(spec));
 
     const std::vector<std::string> mixed_protocols{"combined", "topk_protocol",

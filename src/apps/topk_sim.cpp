@@ -3,12 +3,17 @@
 //   $ topk_sim --protocol combined --stream oscillating --n 32 --k 4
 //              --eps 0.15 --sigma 12 --steps 1000 --seed 7 [--opt exact|approx]
 //              [--strict] [--markdown] [--csv] [--dump-trace out.csv]
+//              [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
+//              [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
 //
 // Runs one protocol on one workload, prints the communication report, the
 // offline optimum on the observed history, and the competitive ratio.
-// `--list` enumerates registered protocols and stream kinds.
+// Fault flags degrade the fleet (src/faults): churn, stragglers, lossy
+// links — individually or via a named preset.
+// `--list` enumerates registered protocols, stream kinds and fault presets.
 #include <iostream>
 
+#include "faults/registry.hpp"
 #include "offline/opt.hpp"
 #include "protocols/registry.hpp"
 #include "sim/simulator.hpp"
@@ -26,6 +31,8 @@ int list_registry() {
   for (const auto& p : protocol_names()) std::cout << " " << p;
   std::cout << "\nstreams:  ";
   for (const auto& s : stream_kinds()) std::cout << " " << s;
+  std::cout << "\nfaults:   ";
+  for (const auto& f : fault_preset_names()) std::cout << " " << f;
   std::cout << "\n";
   return 0;
 }
@@ -61,6 +68,7 @@ int main(int argc, char** argv) {
   const std::string protocol = flags.get_string("protocol", "combined");
 
   try {
+    cfg.faults = make_fleet_schedule(fault_config_from_flags(flags, steps), spec.n);
     Simulator sim(cfg, make_stream(spec), make_protocol(protocol));
     const RunResult run = sim.run(steps);
 
@@ -76,6 +84,11 @@ int main(int argc, char** argv) {
     t.add_row({"broadcasts", format_count(run.broadcasts)});
     t.add_row({"max rounds / step", format_count(run.max_rounds_per_step)});
     t.add_row({"max sigma observed", format_count(run.max_sigma)});
+    if (cfg.faults) {
+      t.add_row({"messages lost (links)", format_count(run.messages_lost)});
+      t.add_row({"stale reads (fleet)", format_count(run.stale_reads)});
+      t.add_row({"recovery rounds", format_count(run.recovery_rounds)});
+    }
 
     if (opt_kind != "none") {
       const double opt_eps = flags.get_double("opt-eps", cfg.epsilon);

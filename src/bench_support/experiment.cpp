@@ -24,6 +24,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       spec.epsilon = cfg.epsilon;
     }
 
+    sim_cfg.faults = trial_fleet_schedule(cfg, trial, spec.n);
+
     Simulator sim(sim_cfg, make_stream(spec), make_protocol(cfg.protocol));
     const RunResult run = sim.run(cfg.steps);
 
@@ -45,6 +47,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     res.last_run = run;
   }
   return res;
+}
+
+FleetSchedulePtr trial_fleet_schedule(const ExperimentConfig& cfg,
+                                      std::size_t trial, std::size_t n) {
+  FaultConfig fault_cfg = cfg.faults;
+  fault_cfg.horizon = cfg.steps;
+  fault_cfg.seed = splitmix_combine(cfg.faults.seed, trial);
+  return make_fleet_schedule(fault_cfg, n);
 }
 
 }  // namespace topkmon

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "faults/schedule.hpp"
 #include "sim/simulator.hpp"
 #include "streams/registry.hpp"
 #include "util/summary.hpp"
@@ -29,6 +30,10 @@ struct ExperimentConfig {
   OptKind opt_kind = OptKind::kApprox;
   /// ε′ for the offline optimum; negative = use `epsilon`.
   double opt_epsilon = -1.0;
+  /// Fault scenario (src/faults); all-zero = reliable static fleet. Each
+  /// trial generates its own schedule (horizon = steps, seed derived from
+  /// faults.seed and the trial index), so trials degrade independently.
+  FaultConfig faults;
 };
 
 struct ExperimentResult {
@@ -44,5 +49,13 @@ struct ExperimentResult {
 /// Runs all trials of one cell (serially; parallelism lives in runner.hpp).
 /// Per-trial seeds derive from cfg.seed via splitmix_combine (util/rng.hpp).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// The fault schedule of one trial of `cfg` over an n-node fleet (horizon =
+/// cfg.steps, seed derived from cfg.faults.seed and the trial index); null
+/// when the scenario is all-zero. The single derivation point shared by the
+/// solo path (run_experiment) and the engine-grouped path (run_sweep) — both
+/// must script the identical degraded fleet for bit-identical results.
+FleetSchedulePtr trial_fleet_schedule(const ExperimentConfig& cfg,
+                                      std::size_t trial, std::size_t n);
 
 }  // namespace topkmon

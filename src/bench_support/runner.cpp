@@ -29,8 +29,9 @@ StreamSpec effective_spec(const ExperimentConfig& cfg) {
   return spec;
 }
 
-/// Cells agreeing on this key see the identical stream per trial and can be
-/// served as concurrent queries of one engine.
+/// Cells agreeing on this key see the identical stream — and the identical
+/// degraded fleet — per trial and can be served as concurrent queries of one
+/// engine.
 std::string group_key(const ExperimentConfig& cfg) {
   const StreamSpec s = effective_spec(cfg);
   std::ostringstream oss;
@@ -38,7 +39,10 @@ std::string group_key(const ExperimentConfig& cfg) {
   oss << s.kind << '|' << s.n << '|' << s.k << '|' << s.epsilon << '|' << s.delta
       << '|' << s.sigma << '|' << s.walk_step << '|' << s.churn << '|' << s.drift
       << '|' << s.trace_path << '|' << cfg.k << '|' << cfg.epsilon << '|'
-      << cfg.steps << '|' << cfg.trials << '|' << cfg.seed << '|' << cfg.strict;
+      << cfg.steps << '|' << cfg.trials << '|' << cfg.seed << '|' << cfg.strict
+      << '|' << cfg.faults.churn_rate << '|' << cfg.faults.straggler_fraction
+      << '|' << cfg.faults.max_delay << '|' << cfg.faults.loss << '|'
+      << cfg.faults.seed;
   return oss.str();
 }
 
@@ -61,6 +65,7 @@ TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
   ecfg.threads = 1;  // cell/trial parallelism lives in the sweep pool
   ecfg.seed = sim_seed;
   ecfg.share_probes = false;
+  ecfg.faults = trial_fleet_schedule(base, trial, effective_spec(base).n);
   for (const auto* c : cells) {
     ecfg.record_history |= c->opt_kind != OptKind::kNone;
   }
@@ -75,7 +80,11 @@ TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
     q.seed = sim_seed;
     engine.add_query(std::move(q));
   }
-  engine.run(base.steps);
+  // Stale reads are a fleet-level phenomenon: the engine's one injector books
+  // them once, while a standalone Simulator (one fleet per cell) books them
+  // into its own RunResult. Copy the fleet total into each cell so grouped
+  // results stay bit-identical to the solo path.
+  const std::uint64_t fleet_stale = engine.run(base.steps).stale_reads;
 
   TrialOutcome out;
   out.runs.reserve(cells.size());
@@ -84,6 +93,7 @@ TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto* c = cells[i];
     out.runs.push_back(engine.query_sim(static_cast<QueryHandle>(i)).result());
+    out.runs.back().stale_reads = fleet_stale;
     if (c->opt_kind == OptKind::kNone) continue;
     const double eps_opt = c->opt_epsilon < 0.0 ? c->epsilon : c->opt_epsilon;
     const auto key = std::make_pair(

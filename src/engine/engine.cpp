@@ -20,6 +20,13 @@ MonitoringEngine::MonitoringEngine(EngineConfig cfg,
   TOPKMON_ASSERT(gen_ != nullptr);
   TOPKMON_ASSERT(gen_->n() > 0);
   snapshot_.resize(gen_->n());
+  if (cfg_.faults) {
+    TOPKMON_ASSERT_MSG(cfg_.faults->n() == gen_->n(),
+                       "fault schedule sized for wrong fleet");
+    injector_ = std::make_unique<FaultInjector>(cfg_.faults);
+    shared_probe_.enable_loss(cfg_.faults->loss(),
+                              Rng::derive(cfg_.seed, /*stream_id=*/0x1055));
+  }
 }
 
 MonitoringEngine::~MonitoringEngine() = default;
@@ -46,6 +53,11 @@ QueryHandle MonitoringEngine::add_query(QuerySpec spec) {
   sim->set_sigma_hook([this](std::size_t k, double epsilon) {
     return step_snapshot_.sigma(k, epsilon);
   });
+  if (cfg_.faults) {
+    // Loss accounting + membership recovery per query; value injection stays
+    // engine-side (the shared snapshot is transformed once per step).
+    sim->attach_fault_channel(cfg_.faults);
+  }
   pending_.push_back(std::move(sim));
   specs_.push_back(std::move(spec));
   return handle;
@@ -94,22 +106,28 @@ void MonitoringEngine::step() {
     gen_->step(next_t_, view, snapshot_, gen_rng_);
   }
 
-  // (2) Arm the per-step caches, then advance all shards.
-  step_snapshot_.begin_step(snapshot_);
+  // (2) Fault injection on the shared snapshot path: snapshot_ keeps the
+  // true stream (the generator evolves undisturbed); the fleet — and every
+  // query — observes the effective vector.
+  const ValueVector& eff =
+      injector_ ? injector_->transform(next_t_, snapshot_) : snapshot_;
+
+  // (3) Arm the per-step caches, then advance all shards.
+  step_snapshot_.begin_step(eff);
   if (cfg_.share_probes) {
-    shared_probe_.begin_step(&snapshot_);
+    shared_probe_.begin_step(&eff);
   }
   if (pool_) {
     parallel_for(*pool_, shards_.size(),
-                 [&](std::size_t s) { shards_[s].step(snapshot_); });
+                 [&](std::size_t s) { shards_[s].step(eff); });
   } else {
     for (auto& shard : shards_) {
-      shard.step(snapshot_);
+      shard.step(eff);
     }
   }
 
   if (cfg_.record_history) {
-    history_.push_back(snapshot_);
+    history_.push_back(eff);
   }
   ++next_t_;
 }
@@ -140,9 +158,13 @@ EngineStats MonitoringEngine::stats() const {
     qs.run = sim.result();
     qs.output = sim.protocol().output();
     s.query_messages += qs.run.messages;
+    s.messages_lost += qs.run.messages_lost;
+    s.recovery_rounds += qs.run.recovery_rounds;
     s.queries.push_back(std::move(qs));
   }
   s.shared_probe_messages = shared_probe_.stats().total();
+  s.messages_lost += shared_probe_.stats().messages_lost();
+  s.stale_reads = injector_ ? injector_->total_stale() : 0;
   s.total_messages = s.query_messages + s.shared_probe_messages;
   s.probe_calls = shared_probe_.calls();
   s.probe_ranks_computed = shared_probe_.ranks_computed();

@@ -34,6 +34,8 @@
 #include "engine/shared_probe.hpp"
 #include "engine/snapshot.hpp"
 #include "engine/stats.hpp"
+#include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "sim/stream.hpp"
 #include "util/thread_pool.hpp"
 
@@ -45,6 +47,14 @@ struct EngineConfig {
   bool share_probes = true;     ///< batch probe_top across queries per step
   bool record_history = false;  ///< keep snapshot history (offline OPT input)
   std::size_t shard_count = 0;  ///< number of shards; 0 = one per worker
+
+  /// Fault model (src/faults): null = reliable static fleet. The engine
+  /// injects churn/straggler effects into the shared snapshot ONCE per step
+  /// (queries observe one degraded fleet, not Q independent ones), arms
+  /// lossy-link accounting on every query channel and the shared probe, and
+  /// fires each query's recovery hook on membership changes. An all-zero
+  /// schedule reproduces the fault-free engine bit-identically.
+  FleetSchedulePtr faults;
 };
 
 class MonitoringEngine {
@@ -89,6 +99,7 @@ class MonitoringEngine {
   Rng gen_rng_;
   SharedProbe shared_probe_;
   StepSnapshot step_snapshot_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null = fault-free fleet
 
   std::vector<QuerySpec> specs_;                     ///< handle order
   std::vector<std::unique_ptr<Simulator>> pending_;  ///< until ensure_started

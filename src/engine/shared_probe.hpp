@@ -44,6 +44,11 @@ class SharedProbe : public ProbeSharer {
   /// Messages/rounds booked for shared probing (the once-per-step cost).
   const CommStats& stats() const { return stats_; }
 
+  /// Arms lossy-link accounting (src/faults) on the shared probe channel.
+  /// Deterministic for any shard schedule: ranks extend in order 0, 1, 2, …
+  /// under the cache mutex, so the loss RNG consumption is schedule-free.
+  void enable_loss(double p, Rng rng) { stats_.enable_loss(p, std::move(rng)); }
+
   /// probe_top requests served through the shared channel, and ranks
   /// actually computed (once per step each). Both are schedule-independent:
   /// every query's call count is deterministic, and per step exactly the

@@ -39,6 +39,9 @@ Table EngineStats::summary_table(const std::string& title) const {
   t.add_row({"total messages", format_count(total_messages)});
   t.add_row({"shared probe calls", format_count(probe_calls)});
   t.add_row({"shared probe ranks computed", format_count(probe_ranks_computed)});
+  t.add_row({"messages lost (links)", format_count(messages_lost)});
+  t.add_row({"stale reads (fleet)", format_count(stale_reads)});
+  t.add_row({"recovery rounds", format_count(recovery_rounds)});
   t.add_row({"elapsed (s)", format_double(elapsed_sec, 3)});
   t.add_row({"steps / s", format_double(steps_per_sec, 1)});
   t.add_row({"query-steps / s", format_double(query_steps_per_sec, 1)});

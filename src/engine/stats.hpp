@@ -34,6 +34,11 @@ struct EngineStats {
   std::uint64_t probe_calls = 0;           ///< probe_top requests served shared
   std::uint64_t probe_ranks_computed = 0;  ///< ranks computed (once per step)
 
+  // Fault metrics (src/faults; all zero on the fault-free path).
+  std::uint64_t messages_lost = 0;    ///< retransmissions, queries + shared probe
+  std::uint64_t stale_reads = 0;      ///< fleet observations served from the past
+  std::uint64_t recovery_rounds = 0;  ///< Σ per-query membership recoveries
+
   double elapsed_sec = 0.0;
   double steps_per_sec = 0.0;        ///< engine time steps per wall second
   double query_steps_per_sec = 0.0;  ///< steps × Q per wall second (vs serial)

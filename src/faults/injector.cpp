@@ -1,0 +1,49 @@
+#include "faults/injector.hpp"
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+FaultInjector::FaultInjector(FleetSchedulePtr schedule)
+    : schedule_(std::move(schedule)) {
+  TOPKMON_ASSERT(schedule_ != nullptr);
+  effective_.resize(schedule_->n());
+}
+
+const ValueVector& FaultInjector::transform(TimeStep t, const ValueVector& truth) {
+  TOPKMON_ASSERT(truth.size() == schedule_->n());
+  TOPKMON_ASSERT_MSG(t == next_t_, "injector must see consecutive steps");
+  ++next_t_;
+
+  ring_.push_back(truth);
+  if (ring_.size() > schedule_->max_delay() + 1) {
+    ring_.pop_front();
+  }
+
+  last_stale_ = 0;
+  if (t == 0) {
+    effective_ = truth;
+    return effective_;
+  }
+  for (NodeId i = 0; i < truth.size(); ++i) {
+    if (!schedule_->online(i, t)) {
+      // Offline: observation frozen at the previous effective value.
+      ++last_stale_;
+      continue;
+    }
+    const std::size_t d = schedule_->delay(i);
+    if (d == 0) {
+      effective_[i] = truth[i];
+    } else {
+      // ring_.back() holds step t; the vector for step t−d (clamped to the
+      // ring's oldest entry, which covers max(0, t−d)) sits d slots earlier.
+      const std::size_t back = std::min<std::size_t>(d, ring_.size() - 1);
+      effective_[i] = ring_[ring_.size() - 1 - back][i];
+      ++last_stale_;
+    }
+  }
+  total_stale_ += last_stale_;
+  return effective_;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,59 @@
+// FaultInjector — applies a FleetSchedule between Stream and Node.
+//
+// Generators keep producing the *true* observation vector; the injector
+// rewrites it into the *effective* vector the fleet actually holds before it
+// reaches the nodes:
+//
+//   * an offline node's observation freezes at the last effective value it
+//     held (its stream stops until it rejoins);
+//   * a straggler with delay d holds the true value of step max(0, t−d)
+//     (a ring buffer retains the last max_delay+1 true vectors);
+//   * at t = 0 every node holds the true initial value, so degradation only
+//     begins once the fleet is running.
+//
+// The effective vector is just another value stream, so every protocol runs
+// unmodified and its correctness/validity contract (checked in strict mode)
+// holds with respect to what the nodes really observed. Each observation
+// served from the past (offline freeze or positive delay at t ≥ 1) counts as
+// one *stale read* — the fault-awareness metric surfaced through
+// CommStats/RunResult/EngineStats.
+//
+// The injector is deterministic and RNG-free: with an all-zero schedule,
+// transform() is the identity and the fault-free path is reproduced
+// bit-identically.
+#pragma once
+
+#include <deque>
+
+#include "faults/schedule.hpp"
+#include "model/types.hpp"
+
+namespace topkmon {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FleetSchedulePtr schedule);
+
+  /// Rewrites the step-t true vector into the effective vector (returned
+  /// reference is owned by the injector and valid until the next call).
+  /// Must be called once per step with consecutive t starting at 0.
+  const ValueVector& transform(TimeStep t, const ValueVector& truth);
+
+  /// Stale reads produced by the most recent transform() call.
+  std::uint64_t last_stale() const { return last_stale_; }
+
+  /// Stale reads across all steps so far.
+  std::uint64_t total_stale() const { return total_stale_; }
+
+  const FleetSchedule& schedule() const { return *schedule_; }
+
+ private:
+  FleetSchedulePtr schedule_;
+  std::deque<ValueVector> ring_;  ///< true vectors of the last max_delay+1 steps
+  ValueVector effective_;
+  TimeStep next_t_ = 0;
+  std::uint64_t last_stale_ = 0;
+  std::uint64_t total_stale_ = 0;
+};
+
+}  // namespace topkmon

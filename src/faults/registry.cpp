@@ -1,0 +1,57 @@
+#include "faults/registry.hpp"
+
+#include <stdexcept>
+
+namespace topkmon {
+
+FaultConfig fault_preset(const std::string& name) {
+  FaultConfig cfg;
+  if (name == "none" || name.empty()) {
+    return cfg;
+  }
+  if (name == "churn") {
+    cfg.churn_rate = 0.02;
+    return cfg;
+  }
+  if (name == "stragglers") {
+    cfg.straggler_fraction = 0.25;
+    cfg.max_delay = 8;
+    return cfg;
+  }
+  if (name == "lossy") {
+    cfg.loss = 0.05;
+    return cfg;
+  }
+  if (name == "flaky") {  // everything at once, moderately
+    cfg.churn_rate = 0.01;
+    cfg.straggler_fraction = 0.125;
+    cfg.max_delay = 4;
+    cfg.loss = 0.02;
+    return cfg;
+  }
+  if (name == "datacenter") {  // mild background noise of a healthy fleet
+    cfg.churn_rate = 0.002;
+    cfg.straggler_fraction = 0.05;
+    cfg.max_delay = 2;
+    cfg.loss = 0.001;
+    return cfg;
+  }
+  throw std::runtime_error("unknown fault preset: " + name);
+}
+
+std::vector<std::string> fault_preset_names() {
+  return {"none", "churn", "stragglers", "lossy", "flaky", "datacenter"};
+}
+
+FaultConfig fault_config_from_flags(const Flags& flags, TimeStep horizon) {
+  FaultConfig cfg = fault_preset(flags.get_string("faults", "none"));
+  cfg.churn_rate = flags.get_double("churn-rate", cfg.churn_rate);
+  cfg.straggler_fraction = flags.get_double("straggler-frac", cfg.straggler_fraction);
+  cfg.max_delay = flags.get_uint("straggler-delay", cfg.max_delay);
+  cfg.loss = flags.get_double("loss", cfg.loss);
+  cfg.seed = flags.get_uint("fault-seed", cfg.seed);
+  cfg.horizon = horizon;
+  return cfg;
+}
+
+}  // namespace topkmon

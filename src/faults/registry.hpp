@@ -1,0 +1,28 @@
+// Named fault-scenario presets for CLI tools, benches and matrix tests —
+// the fault-model counterpart of streams/registry and protocols/registry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/schedule.hpp"
+#include "util/flags.hpp"
+
+namespace topkmon {
+
+/// Returns the preset named `name`; throws std::runtime_error for unknown
+/// names. Known presets: none, churn, stragglers, lossy, flaky, datacenter.
+/// `horizon` and `seed` of the returned config stay at their defaults;
+/// callers override them before generating a schedule.
+FaultConfig fault_preset(const std::string& name);
+
+/// All registered preset names (for --help output and matrix tests).
+std::vector<std::string> fault_preset_names();
+
+/// Shared CLI surface of topk_sim/topk_engine: `--faults <preset>` selects a
+/// preset (default "none"), then `--churn-rate`, `--straggler-frac`,
+/// `--straggler-delay` (max, steps), `--loss` and `--fault-seed` override
+/// individual fields. `horizon` scripts churn over the run length.
+FaultConfig fault_config_from_flags(const Flags& flags, TimeStep horizon);
+
+}  // namespace topkmon

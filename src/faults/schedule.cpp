@@ -1,0 +1,121 @@
+#include "faults/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+
+bool zero_fault(const FaultConfig& cfg) {
+  return cfg.churn_rate <= 0.0 &&
+         (cfg.straggler_fraction <= 0.0 || cfg.max_delay == 0) && cfg.loss <= 0.0;
+}
+
+FleetSchedule::FleetSchedule(std::size_t n)
+    : n_(n), delays_(n, 0), toggles_(n) {
+  TOPKMON_ASSERT(n > 0);
+}
+
+void FleetSchedule::add_event(TimeStep step, NodeId node) {
+  TOPKMON_ASSERT_MSG(step >= 1, "membership events start at step 1");
+  TOPKMON_ASSERT(node < n_);
+  TOPKMON_ASSERT_MSG(events_.empty() || events_.back().step <= step,
+                     "events must be appended in step order");
+  // A node starts online and flips on every toggle recorded so far.
+  const bool was_online = toggles_[node].size() % 2 == 0;
+  events_.push_back(FleetEvent{step, node, /*join=*/!was_online});
+  toggles_[node].push_back(step);
+  event_steps_.push_back(step);
+}
+
+void FleetSchedule::set_delay(NodeId i, std::size_t d) {
+  TOPKMON_ASSERT(i < n_);
+  delays_[i] = d;
+  max_delay_ = *std::max_element(delays_.begin(), delays_.end());
+}
+
+void FleetSchedule::set_loss(double p) {
+  TOPKMON_ASSERT(p >= 0.0 && p < 1.0);
+  loss_ = p;
+}
+
+bool FleetSchedule::online(NodeId i, TimeStep t) const {
+  TOPKMON_ASSERT(i < n_);
+  const auto& tg = toggles_[i];
+  const auto flips = std::upper_bound(tg.begin(), tg.end(), t) - tg.begin();
+  return flips % 2 == 0;
+}
+
+bool FleetSchedule::membership_changed_at(TimeStep t) const {
+  return std::binary_search(event_steps_.begin(), event_steps_.end(), t);
+}
+
+bool FleetSchedule::zero_fault() const {
+  return events_.empty() && max_delay_ == 0 && loss_ == 0.0;
+}
+
+FleetSchedule FleetSchedule::generate(const FaultConfig& cfg, std::size_t n) {
+  FleetSchedule sched(n);
+  sched.set_loss(cfg.loss);
+
+  // Stragglers: ⌊fraction·n⌉ distinct nodes via partial Fisher-Yates.
+  Rng rng = Rng::derive(cfg.seed, /*stream_id=*/0xFA01);
+  if (cfg.straggler_fraction > 0.0 && cfg.max_delay > 0) {
+    const auto want = static_cast<std::size_t>(
+        std::llround(cfg.straggler_fraction * static_cast<double>(n)));
+    const std::size_t count = std::min(want, n);
+    std::vector<NodeId> ids(n);
+    std::iota(ids.begin(), ids.end(), NodeId{0});
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t pick = j + rng.below(n - j);
+      std::swap(ids[j], ids[pick]);
+      sched.set_delay(ids[j], 1 + rng.below(cfg.max_delay));
+    }
+  }
+
+  // Churn: ⌊rate·horizon⌉ toggles at sorted random steps in [1, horizon);
+  // each toggles a uniformly random node (leave if online, join if not).
+  if (cfg.churn_rate > 0.0 && cfg.horizon > 1) {
+    const auto events = static_cast<std::size_t>(
+        std::llround(cfg.churn_rate * static_cast<double>(cfg.horizon)));
+    std::vector<TimeStep> steps;
+    steps.reserve(events);
+    for (std::size_t e = 0; e < events; ++e) {
+      steps.push_back(1 + static_cast<TimeStep>(
+                              rng.below(static_cast<std::uint64_t>(cfg.horizon - 1))));
+    }
+    std::sort(steps.begin(), steps.end());
+    for (const TimeStep s : steps) {
+      sched.add_event(s, static_cast<NodeId>(rng.below(n)));
+    }
+  }
+  return sched;
+}
+
+std::string FleetSchedule::trace() const {
+  std::ostringstream oss;
+  oss << "fleet n=" << n_ << " loss=" << loss_ << "\n";
+  for (NodeId i = 0; i < n_; ++i) {
+    if (delays_[i] > 0) {
+      oss << "straggler node=" << i << " delay=" << delays_[i] << "\n";
+    }
+  }
+  for (const auto& ev : events_) {
+    oss << "t=" << ev.step << " node=" << ev.node << " "
+        << (ev.join ? "join" : "leave") << "\n";
+  }
+  return oss.str();
+}
+
+FleetSchedulePtr make_fleet_schedule(const FaultConfig& cfg, std::size_t n) {
+  if (zero_fault(cfg)) {
+    return nullptr;
+  }
+  return std::make_shared<FleetSchedule>(FleetSchedule::generate(cfg, n));
+}
+
+}  // namespace topkmon

@@ -1,0 +1,130 @@
+// FleetSchedule — a deterministic script of fleet degradations.
+//
+// The paper's model assumes a fixed set of n nodes on a perfectly reliable
+// broadcast channel. A production fleet is dynamic: nodes join and leave
+// (churn), some lag behind the stream (stragglers), and links drop messages.
+// A FleetSchedule captures all three as a *script* fixed up front:
+//
+//   * churn      — a sorted list of membership toggle events (step, node,
+//                  join/leave). An offline node's observation freezes at the
+//                  last value it held; it resumes tracking the stream on
+//                  rejoin. Every membership-change step triggers the
+//                  protocols' recovery hook (MonitoringProtocol::
+//                  on_membership_change).
+//   * stragglers — a per-node constant delay d: the node's observation at
+//                  step t is the stream value of step max(0, t−d).
+//   * lossy links— a per-message drop probability p. Delivery stays reliable
+//                  via retransmission (the protocols' logic is unchanged);
+//                  each drop costs one extra message, surfaced as
+//                  `messages_lost` in CommStats/RunResult/EngineStats.
+//
+// Schedules are value types generated deterministically from a FaultConfig
+// seed (same seed ⇒ identical fault trace) and are shared read-only between
+// the injector, the simulators and the engine, so they are safe to consult
+// from concurrent shards. The all-zero schedule is a strict no-op: every
+// protocol's outputs and message counts are bit-identical to the fault-free
+// path (regression-tested in tests/test_faults.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+/// Knobs for FleetSchedule::generate. Fields left at zero contribute no
+/// faults; the default config scripts none at all.
+struct FaultConfig {
+  double churn_rate = 0.0;  ///< expected membership toggle events per step
+  double straggler_fraction = 0.0;  ///< fraction of nodes that lag the stream
+  std::size_t max_delay = 0;        ///< straggler delay upper bound (steps)
+  double loss = 0.0;                ///< per-message drop probability
+  TimeStep horizon = 1000;          ///< steps over which churn is scripted
+  std::uint64_t seed = 1;           ///< fault-trace seed (independent of sim seed)
+};
+
+/// True iff the config scripts no fault of any kind.
+bool zero_fault(const FaultConfig& cfg);
+
+/// One membership toggle. `join` records the node's state *after* the event
+/// takes effect (at the beginning of `step`).
+struct FleetEvent {
+  TimeStep step;
+  NodeId node;
+  bool join;
+
+  friend bool operator==(const FleetEvent&, const FleetEvent&) = default;
+};
+
+class FleetSchedule {
+ public:
+  /// All-zero schedule for an n-node fleet (no churn/stragglers/loss).
+  explicit FleetSchedule(std::size_t n);
+
+  /// Scripts a random schedule from `cfg` (deterministic in cfg.seed):
+  /// ⌊churn_rate·horizon⌉ membership toggles spread over [1, horizon),
+  /// ⌊straggler_fraction·n⌉ distinct nodes with delays in [1, max_delay],
+  /// and the per-message loss probability.
+  static FleetSchedule generate(const FaultConfig& cfg, std::size_t n);
+
+  std::size_t n() const { return n_; }
+
+  // ---- scripting (tests and custom scenarios) ----------------------------
+
+  /// Appends a membership toggle; steps must be ≥ 1 and non-decreasing.
+  /// The node's state flips: online→leave, offline→join.
+  void add_event(TimeStep step, NodeId node);
+
+  /// Sets node i's straggler delay (0 = current).
+  void set_delay(NodeId i, std::size_t d);
+
+  /// Sets the per-message drop probability in [0, 1).
+  void set_loss(double p);
+
+  // ---- queries -----------------------------------------------------------
+
+  /// Is node i a fleet member at step t? (All nodes start online.)
+  bool online(NodeId i, TimeStep t) const;
+
+  /// Node i's observation delay in steps.
+  std::size_t delay(NodeId i) const { return delays_[i]; }
+
+  /// Largest delay of any node (ring-buffer sizing for the injector).
+  std::size_t max_delay() const { return max_delay_; }
+
+  /// Did any node join or leave at the beginning of step t?
+  bool membership_changed_at(TimeStep t) const;
+
+  double loss() const { return loss_; }
+
+  /// No churn events, no positive delay, no loss — the identity schedule.
+  bool zero_fault() const;
+
+  /// All membership toggles in step order.
+  const std::vector<FleetEvent>& events() const { return events_; }
+
+  /// Human-readable deterministic fault trace ("same seed ⇒ identical
+  /// trace" is asserted on this string in tests).
+  std::string trace() const;
+
+ private:
+  std::size_t n_ = 0;
+  double loss_ = 0.0;
+  std::size_t max_delay_ = 0;
+  std::vector<std::size_t> delays_;          ///< per node
+  std::vector<FleetEvent> events_;           ///< sorted by step
+  std::vector<TimeStep> event_steps_;        ///< sorted; membership lookups
+  std::vector<std::vector<TimeStep>> toggles_;  ///< per node, sorted
+};
+
+/// Shared read-only handle used across Simulator/Engine plumbing.
+using FleetSchedulePtr = std::shared_ptr<const FleetSchedule>;
+
+/// Convenience: generate(cfg, n) wrapped in a shared_ptr, or nullptr when
+/// the config is all-zero (callers keep the exact fault-free code path).
+FleetSchedulePtr make_fleet_schedule(const FaultConfig& cfg, std::size_t n);
+
+}  // namespace topkmon

@@ -21,6 +21,9 @@ class NaiveCentralMonitor final : public MonitoringProtocol {
  public:
   void start(SimContext& ctx) override;
   void on_step(SimContext& ctx) override;
+  /// Every step already re-collects the full fleet; membership changes need
+  /// no extra work beyond the regular step.
+  void on_membership_change(SimContext& ctx) override { on_step(ctx); }
   const OutputSet& output() const override { return output_; }
   std::string_view name() const override { return "naive_central"; }
 
@@ -35,6 +38,10 @@ class NaiveChangeMonitor final : public MonitoringProtocol {
  public:
   void start(SimContext& ctx) override;
   void on_step(SimContext& ctx) override;
+  /// Point filters already flag every node whose observation moved (a
+  /// rejoining node's jump included); the regular step recovers incrementally
+  /// instead of re-reporting all n values via start().
+  void on_membership_change(SimContext& ctx) override { on_step(ctx); }
   const OutputSet& output() const override { return output_; }
   std::string_view name() const override { return "naive_change"; }
 

@@ -26,9 +26,24 @@ std::string to_string(MessageTag t) {
 }
 
 void CommStats::count(MessageKind kind, MessageTag tag, std::uint64_t n) {
+  if (loss_p_ > 0.0) {
+    // Lossy link: each of the n messages is retransmitted until delivered;
+    // drops-before-success is geometric in the delivery probability 1−p.
+    std::uint64_t drops = 0;
+    for (std::uint64_t m = 0; m < n; ++m) {
+      drops += loss_rng_.geometric(1.0 - loss_p_);
+    }
+    messages_lost_ += drops;
+    n += drops;
+  }
   total_ += n;
   kind_[static_cast<std::size_t>(kind)] += n;
   tag_[static_cast<std::size_t>(tag)] += n;
+}
+
+void CommStats::enable_loss(double p, Rng rng) {
+  loss_p_ = p;
+  loss_rng_ = rng;
 }
 
 void CommStats::begin_step() {
@@ -45,7 +60,13 @@ void CommStats::add_rounds(std::uint64_t r) {
   }
 }
 
-void CommStats::reset() { *this = CommStats{}; }
+void CommStats::reset() {
+  const double p = loss_p_;
+  const Rng rng = loss_rng_;
+  *this = CommStats{};
+  loss_p_ = p;
+  loss_rng_ = rng;
+}
 
 std::string CommStats::report() const {
   std::ostringstream oss;
@@ -59,6 +80,10 @@ std::string CommStats::report() const {
   }
   oss << "\n  steps=" << steps_ << " max_rounds/step=" << max_rounds_per_step_
       << " total_rounds=" << total_rounds_;
+  if (messages_lost_ > 0 || stale_reads_ > 0 || recovery_rounds_ > 0) {
+    oss << "\n  faults: lost=" << messages_lost_ << " stale_reads=" << stale_reads_
+        << " recovery_rounds=" << recovery_rounds_;
+  }
   return oss.str();
 }
 

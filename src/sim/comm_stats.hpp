@@ -5,11 +5,20 @@
 // number of messages; tags exist so benches can attribute cost to protocol
 // phases (probing vs violation reporting vs filter redistribution).
 // Rounds are also tracked per time step to verify the polylog-round budget.
+//
+// Fault awareness (src/faults): with a lossy-link model enabled, each counted
+// message independently drops with probability p and is retransmitted until
+// delivered — protocol logic is unchanged, but every drop costs one extra
+// message of the same kind/tag and increments `messages_lost`. Stale reads
+// and recovery rounds are booked here too so RunResult/EngineStats can
+// surface all fault metrics from one place.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+
+#include "util/rng.hpp"
 
 namespace topkmon {
 
@@ -54,6 +63,25 @@ class CommStats {
   std::uint64_t total_rounds() const { return total_rounds_; }
   std::uint64_t messages_this_step() const { return total_ - total_at_step_start_; }
 
+  // ---- fault model (src/faults) ------------------------------------------
+
+  /// Enables the lossy-link model: every subsequent count() draws, per
+  /// message, a geometric number of drops with probability `p` from `rng`.
+  /// p = 0 disables the model and performs no draws at all (bit-identical
+  /// accounting to a CommStats without loss).
+  void enable_loss(double p, Rng rng);
+  double loss_p() const { return loss_p_; }
+
+  /// Injector-side: `n` node observations served stale this step.
+  void add_stale_reads(std::uint64_t n) { stale_reads_ += n; }
+  /// Simulator-side: one membership-change recovery round executed.
+  void add_recovery() { ++recovery_rounds_; }
+
+  std::uint64_t messages_lost() const { return messages_lost_; }
+  std::uint64_t stale_reads() const { return stale_reads_; }
+  std::uint64_t recovery_rounds() const { return recovery_rounds_; }
+
+  /// Resets all counters; the loss model (p and RNG state) is preserved.
   void reset();
 
   /// Multi-line human-readable report.
@@ -68,6 +96,12 @@ class CommStats {
   std::uint64_t max_rounds_per_step_ = 0;
   std::uint64_t total_rounds_ = 0;
   std::uint64_t total_at_step_start_ = 0;
+
+  double loss_p_ = 0.0;
+  Rng loss_rng_{0};
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t stale_reads_ = 0;
+  std::uint64_t recovery_rounds_ = 0;
 };
 
 }  // namespace topkmon

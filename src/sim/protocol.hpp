@@ -22,6 +22,16 @@ class MonitoringProtocol {
   virtual void start(SimContext& ctx) = 0;
   virtual void on_step(SimContext& ctx) = 0;
 
+  /// Recovery hook: called *instead of* on_step() at steps where the fleet
+  /// membership changed (a node joined or left, see src/faults). A rejoining
+  /// node resumes the live stream and a leaving node freezes, so cached
+  /// state/filters may be arbitrarily wrong; the default recovery re-runs
+  /// start(), whose contract (correct output, valid filter set, quiescence)
+  /// re-validates and redistributes filters from the current values.
+  /// Protocols with cheaper incremental recovery override this. Never called
+  /// on the fault-free path.
+  virtual void on_membership_change(SimContext& ctx) { start(ctx); }
+
   /// The server's current output F(t); size k.
   virtual const OutputSet& output() const = 0;
 

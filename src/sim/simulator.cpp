@@ -16,6 +16,10 @@ Simulator::Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
   TOPKMON_ASSERT(gen_ != nullptr);
   TOPKMON_ASSERT(protocol_ != nullptr);
   scratch_values_.resize(gen_->n());
+  if (cfg_.faults) {
+    attach_fault_channel(cfg_.faults);
+    injector_ = std::make_unique<FaultInjector>(cfg_.faults);
+  }
 }
 
 Simulator::Simulator(SimConfig cfg, std::size_t n,
@@ -26,6 +30,20 @@ Simulator::Simulator(SimConfig cfg, std::size_t n,
       ctx_(SimParams{n, cfg.k, cfg.epsilon}, cfg.seed),
       gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)) {
   TOPKMON_ASSERT(protocol_ != nullptr);
+  if (cfg_.faults) {
+    attach_fault_channel(cfg_.faults);
+    injector_ = std::make_unique<FaultInjector>(cfg_.faults);
+  }
+}
+
+void Simulator::attach_fault_channel(FleetSchedulePtr faults) {
+  TOPKMON_ASSERT(faults != nullptr);
+  TOPKMON_ASSERT_MSG(faults->n() == ctx_.n(), "fault schedule sized for wrong fleet");
+  TOPKMON_ASSERT_MSG(next_t_ == 0, "fault channel must attach before the first step");
+  faults_ = std::move(faults);
+  // p = 0 arms nothing: count() stays draw-free and bit-identical.
+  ctx_.stats().enable_loss(faults_->loss(),
+                           Rng::derive(cfg_.seed, /*stream_id=*/0x1055));
 }
 
 void Simulator::step() {
@@ -41,24 +59,37 @@ void Simulator::step() {
 }
 
 void Simulator::step_with(const ValueVector& values) {
+  // Standalone fault injection: churn/straggler effects rewrite the true
+  // vector into what the fleet actually observes. (Engine-driven simulators
+  // receive pre-transformed snapshots; their injector_ stays null.)
+  const ValueVector& eff =
+      injector_ ? injector_->transform(next_t_, values) : values;
+
   ctx_.stats().begin_step();
-  ctx_.advance_time(values);
+  ctx_.advance_time(eff);
+  if (injector_) {
+    ctx_.stats().add_stale_reads(injector_->last_stale());
+  }
 
   if (next_t_ == 0) {
     protocol_->start(ctx_);
+  } else if (faults_ && faults_->membership_changed_at(next_t_)) {
+    protocol_->on_membership_change(ctx_);
+    ctx_.stats().add_recovery();
   } else {
     protocol_->on_step(ctx_);
   }
 
   const std::size_t sigma = sigma_hook_
                                 ? sigma_hook_(cfg_.k, cfg_.epsilon)
-                                : Oracle::sigma(values, cfg_.k, cfg_.epsilon);
+                                : Oracle::sigma(eff, cfg_.k, cfg_.epsilon);
   max_sigma_ = std::max(max_sigma_, sigma);
   if (cfg_.record_history) {
-    history_.push_back(values);
+    // What the algorithm (and the offline OPT it is compared against) saw.
+    history_.push_back(eff);
   }
   if (cfg_.strict) {
-    validate_strict(values);
+    validate_strict(eff);
   }
   ++next_t_;
 }
@@ -106,6 +137,9 @@ RunResult Simulator::result() const {
   r.steps = s.steps();
   r.max_rounds_per_step = s.max_rounds_per_step();
   r.max_sigma = max_sigma_;
+  r.messages_lost = s.messages_lost();
+  r.stale_reads = s.stale_reads();
+  r.recovery_rounds = s.recovery_rounds();
   r.messages_per_step =
       r.steps == 0 ? 0.0
                    : static_cast<double>(r.messages) / static_cast<double>(r.steps);

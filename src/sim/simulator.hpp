@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "sim/context.hpp"
 #include "sim/protocol.hpp"
 #include "sim/stream.hpp"
@@ -26,6 +28,13 @@ struct SimConfig {
   std::uint64_t seed = 1;
   bool strict = false;          ///< validate output/filters after every step
   bool record_history = false;  ///< keep the n×T value matrix for offline OPT
+
+  /// Fault model (src/faults): null = perfectly reliable static fleet. With
+  /// a schedule attached the simulator injects churn/straggler effects into
+  /// the observation vector, applies lossy-link accounting, and fires the
+  /// protocol's recovery hook on membership changes. An all-zero schedule
+  /// reproduces the fault-free run bit-identically.
+  FleetSchedulePtr faults;
 };
 
 struct RunResult {
@@ -38,6 +47,11 @@ struct RunResult {
   std::uint64_t max_rounds_per_step = 0;
   std::size_t max_sigma = 0;
   double messages_per_step = 0.0;
+
+  // Fault metrics (all zero on the fault-free path).
+  std::uint64_t messages_lost = 0;    ///< retransmissions on lossy links
+  std::uint64_t stale_reads = 0;      ///< observations served from the past
+  std::uint64_t recovery_rounds = 0;  ///< membership-change recoveries run
 };
 
 class Simulator {
@@ -87,6 +101,16 @@ class Simulator {
   using SigmaFn = std::function<std::size_t(std::size_t k, double epsilon)>;
   void set_sigma_hook(SigmaFn fn) { sigma_hook_ = std::move(fn); }
 
+  /// Engine plumbing: arms lossy-link accounting and membership-change
+  /// recovery from `faults` WITHOUT value injection — the engine transforms
+  /// the shared snapshot once per step before fanning it out, so per-query
+  /// simulators must not transform again. Standalone use goes through
+  /// SimConfig::faults instead, which additionally installs the injector.
+  void attach_fault_channel(FleetSchedulePtr faults);
+
+  /// The attached fault schedule (null on the fault-free path).
+  const FleetSchedule* faults() const { return faults_.get(); }
+
  private:
   void validate_strict(const ValueVector& values) const;
 
@@ -95,6 +119,8 @@ class Simulator {
   std::unique_ptr<MonitoringProtocol> protocol_;
   SimContext ctx_;
   Rng gen_rng_;
+  FleetSchedulePtr faults_;                  ///< loss + recovery channel
+  std::unique_ptr<FaultInjector> injector_;  ///< value faults (standalone only)
   ValueVector scratch_values_;
   std::vector<ValueVector> history_;
   SigmaFn sigma_hook_;

@@ -6,8 +6,12 @@ namespace topkmon {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::thread::hardware_concurrency();
   }
+  // Clamp to at least one worker unconditionally: hardware_concurrency() may
+  // legitimately report 0, and a pool with zero workers would leave every
+  // submitted task queued forever — wait_idle() then hangs instead of failing.
+  threads = std::max<std::size_t>(1, threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -17,7 +17,9 @@ namespace topkmon {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
+  /// Spawns `threads` workers (0 = hardware concurrency). The worker count
+  /// is clamped to ≥ 1 in every case — a zero-worker pool would hang in
+  /// wait_idle() — so thread_count() ≥ 1 always holds.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 

@@ -56,6 +56,20 @@ TEST(ThreadPool, SingleThreadStillWorks) {
   EXPECT_EQ(order, expected);
 }
 
+// threads=0 means "hardware concurrency", which the standard allows to
+// report 0; the pool must clamp to >= 1 worker in every case — a zero-worker
+// pool would leave submitted tasks queued forever and hang wait_idle().
+TEST(ThreadPool, ZeroThreadRequestClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();  // must not hang
+  EXPECT_EQ(counter.load(), 10);
+}
+
 TEST(ThreadPool, TransientHelper) {
   std::atomic<int> counter{0};
   parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
