@@ -1,0 +1,115 @@
+// E12 — sliding-window monitoring: window length × protocol × fault preset.
+//
+// Windowed readings (per-node maxima over the last W steps, src/model/
+// window.hpp) change the economics of every protocol: maxima move less often
+// than instantaneous values, so filters stay valid longer and messages drop —
+// until window expiries (the old maximum sliding out) force re-validation
+// bursts. Shapes to check:
+//   * W = 0 (unwindowed) rows match the pre-window baseline exactly — the
+//     disabled model is a strict no-op;
+//   * messages/step falls as W grows (smoother readings, longer phases) while
+//     expirations/step rises then falls (huge windows rarely expire);
+//   * the windowed OPT (offline optimum on the windowed history) shrinks
+//     with W, so competitive ratios stay comparable across windows;
+//   * fault presets compose: a flaky fleet under windowing pays both the
+//     recovery bursts and the expiry bursts.
+// All counters are deterministic in the seed; messages/expirations/phases
+// are gated exactly against bench/bench_baseline.json by scripts/
+// check_bench.py.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "faults/registry.hpp"
+#include "offline/opt.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+
+namespace {
+
+StreamSpec fleet_spec(std::size_t n) {
+  StreamSpec spec;
+  spec.kind = "zipf_bursty";
+  spec.n = n;
+  spec.k = 4;
+  spec.epsilon = 0.1;
+  spec.sigma = 12;
+  spec.delta = 1 << 16;
+  return spec;
+}
+
+struct CellResult {
+  std::uint64_t messages = 0;      ///< Σ over trials (deterministic)
+  std::uint64_t expirations = 0;   ///< Σ window expiries over trials
+  std::uint64_t opt_phases = 0;    ///< Σ windowed-OPT phases over trials
+  double msgs_per_step = 0.0;      ///< mean over trials
+};
+
+CellResult run_cell(const std::string& protocol, std::size_t window,
+                    const std::string& faults, const BenchArgs& args,
+                    std::size_t n) {
+  CellResult cell;
+  for (std::size_t trial = 0; trial < args.trials; ++trial) {
+    FaultConfig fcfg = fault_preset(faults);
+    fcfg.horizon = args.steps;
+    fcfg.seed = splitmix_combine(args.seed, trial);
+
+    SimConfig cfg;
+    cfg.k = 4;
+    cfg.epsilon = 0.1;
+    cfg.seed = splitmix_combine(args.seed, 1000 + trial);
+    cfg.window = window;
+    cfg.record_history = true;
+    cfg.faults = make_fleet_schedule(fcfg, n);
+    Simulator sim(cfg, make_stream(fleet_spec(n)), make_protocol(protocol));
+    const RunResult r = sim.run(args.steps);
+
+    cell.messages += r.messages;
+    cell.expirations += r.window_expirations;
+    // sim.history() is the windowed stream the protocol saw, so the plain
+    // OfflineOpt on it IS the windowed offline optimum.
+    cell.opt_phases += OfflineOpt::approx(sim.history(), cfg.k, cfg.epsilon).phases;
+    cell.msgs_per_step += r.messages_per_step;
+  }
+  cell.msgs_per_step /= static_cast<double>(args.trials);
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::size_t n = 48;
+  const std::vector<std::string> protocols{"combined", "topk_protocol",
+                                           "half_error", "naive_change"};
+  const std::vector<std::size_t> windows{0, 8, 64, 512};
+  const std::vector<std::string> fault_presets{"none", "flaky"};
+
+  Table t("E12 — sliding windows: W × protocol × faults (zipf_bursty, n=" +
+          std::to_string(n) + ", k=4, ε=0.1, " + std::to_string(args.steps) +
+          " steps, " + std::to_string(args.trials) +
+          " trials, seed=" + std::to_string(args.seed) + ")");
+  t.header({"protocol", "window", "faults", "messages", "expirations",
+            "opt phases", "msgs/step", "ratio"});
+
+  for (const std::string& protocol : protocols) {
+    for (const std::size_t window : windows) {
+      for (const std::string& faults : fault_presets) {
+        const CellResult cell = run_cell(protocol, window, faults, args, n);
+        t.add_row({protocol, std::to_string(window), faults,
+                   std::to_string(cell.messages), std::to_string(cell.expirations),
+                   std::to_string(cell.opt_phases),
+                   format_double(cell.msgs_per_step, 2),
+                   format_double(static_cast<double>(cell.messages) /
+                                     static_cast<double>(std::max<std::uint64_t>(
+                                         1, cell.opt_phases)),
+                                 2)});
+      }
+    }
+  }
+  bench::emit(t, args);
+  return 0;
+}

@@ -1,22 +1,31 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: compare a bench --json run against a baseline.
+"""Bench-regression gate: compare bench --json runs against a baseline.
 
 Usage:
-  check_bench.py --current bench_e10.json --baseline bench/bench_baseline.json
+  check_bench.py --current bench_e10.json [--current bench_e12.json ...]
+                 --baseline bench/bench_baseline.json
                  [--tolerance 0.2] [--metric "query-steps/s"]
-  check_bench.py --current bench_e10.json --write-baseline bench/bench_baseline.json
+  check_bench.py --current bench_e10.json [--current ...]
+                 --write-baseline bench/bench_baseline.json
 
-Rows are matched across files by their key columns (every column that is not
-a measurement). Two classes of checks:
+--current may repeat; the files' tables are concatenated (one baseline can
+gate several benches). Rows are matched across files by their key columns
+(every column that is not a measurement). Two classes of checks:
 
   * deterministic counters ("messages", "serial messages", "shared probe
-    msgs", "identical") must match EXACTLY — the simulator is bit-reproducible
-    across machines, so any drift is a real behavioral change, not noise;
+    msgs", "identical", "expirations", "opt phases") must match EXACTLY —
+    the simulator is bit-reproducible across machines, so any drift is a
+    real behavioral change, not noise;
   * the throughput metric (default "query-steps/s") must not regress below
     (1 - tolerance) x baseline. Hardware differs between the machine that
     wrote the baseline and the one checking, so this gate only means much
     when CI refreshes the baseline on main pushes (see .github/workflows):
     then both sides ran on the same runner class.
+
+Baseline tables whose title matches no table in the current run are skipped
+with a note (not a failure): a gate invocation may legitimately run a subset
+of the benches the baseline covers. Rows missing from a table that IS
+present still fail — that's a schema regression of the bench itself.
 
 Exit status: 0 = pass, 1 = regression/mismatch, 2 = usage or file error.
 """
@@ -28,12 +37,13 @@ import json
 import sys
 
 # Columns whose values are deterministic counters: exact match required.
-EXACT_COLUMNS = {"messages", "serial messages", "shared probe msgs", "identical"}
-# Columns that are wall-clock measurements: never compared directly (the
-# throughput metric below is the one gated, with tolerance).
+EXACT_COLUMNS = {"messages", "serial messages", "shared probe msgs", "identical",
+                 "expirations", "opt phases"}
+# Columns that are wall-clock measurements or derived ratios: never compared
+# directly (the throughput metric below is the one gated, with tolerance).
 NOISY_COLUMNS = {"engine ms", "serial ms", "speedup", "ns/step", "query-steps/s",
                  "elapsed (s)", "steps / s", "msgs/step", "lost/step",
-                 "stale/step"}
+                 "stale/step", "ratio"}
 
 
 def load(path: str) -> dict:
@@ -61,9 +71,18 @@ def index_rows(doc: dict, metric: str) -> dict:
     return out
 
 
+def merge(docs: list[dict]) -> dict:
+    """Concatenates the tables of several bench JSON files (params: first)."""
+    out = {"params": docs[0].get("params", {}), "tables": []}
+    for doc in docs:
+        out["tables"].extend(doc.get("tables", []))
+    return out
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--current", required=True, help="fresh bench --json output")
+    ap.add_argument("--current", required=True, action="append",
+                    help="fresh bench --json output (repeatable)")
     ap.add_argument("--baseline", help="checked-in baseline to compare against")
     ap.add_argument("--write-baseline", metavar="PATH",
                     help="write/refresh the baseline from --current and exit")
@@ -73,7 +92,7 @@ def main() -> int:
                     help="throughput column gated with tolerance")
     args = ap.parse_args()
 
-    current = load(args.current)
+    current = merge([load(path) for path in args.current])
 
     if args.write_baseline:
         with open(args.write_baseline, "w", encoding="utf-8") as f:
@@ -88,10 +107,18 @@ def main() -> int:
     baseline = load(args.baseline)
     base_rows = index_rows(baseline, args.metric)
     cur_rows = index_rows(current, args.metric)
+    cur_titles = {t.get("title", "") for t in current.get("tables", [])}
 
     failures: list[str] = []
+    skipped_titles: set[str] = set()
     checked = 0
     for key, base in base_rows.items():
+        title = key[0]
+        if title not in cur_titles:
+            # This bench wasn't part of the current invocation; skip its
+            # baseline rows rather than failing (see module docstring).
+            skipped_titles.add(title)
+            continue
         cur = cur_rows.get(key)
         label = ", ".join(f"{k}={v}" for k, v in key[1])
         if cur is None:
@@ -119,7 +146,12 @@ def main() -> int:
 
     if not base_rows:
         failures.append("baseline contains no rows")
+    elif checked == 0 and not failures:
+        failures.append("no baseline table matched the current run "
+                        "(every bench was skipped — wrong --current files?)")
 
+    for title in sorted(skipped_titles):
+        print(f"check_bench: note: baseline table not in this run, skipped: {title}")
     if failures:
         print(f"check_bench: FAIL — {len(failures)} issue(s) over {checked} checks:")
         for f in failures:

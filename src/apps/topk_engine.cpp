@@ -2,7 +2,8 @@
 //
 //   $ topk_engine --q 32 --stream zipf_bursty --n 64 --k 4 --eps 0.1
 //                 --protocol combined --steps 1000 --threads 8 --seed 42
-//                 [--mixed] [--strict] [--no-share] [--per-query] [--markdown]
+//                 [--window 64] [--mixed] [--mixed-windows] [--strict]
+//                 [--no-share] [--per-query] [--markdown]
 //                 [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
 //                 [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
 //
@@ -10,8 +11,12 @@
 // MonitoringEngine and prints the aggregate (and optionally per-query)
 // serving report. `--mixed` varies (protocol, k, ε) across queries the way a
 // real multi-tenant deployment would; without it all queries share the
-// protocol/k/ε flags. `--no-share` disables cross-query probe batching (one
-// probe round per query, as in one-Simulator-per-query serving).
+// protocol/k/ε flags. `--window W` serves every query over per-node window
+// maxima of the last W steps (0 = the paper's instantaneous semantics);
+// `--mixed-windows` instead cycles window lengths across queries — one
+// engine, one fleet, mixed-window serving. `--no-share` disables
+// cross-query probe batching (one probe round per query, as in
+// one-Simulator-per-query serving).
 // Fault flags degrade the fleet (src/faults): churn, stragglers, lossy
 // links — individually or via a named preset; every query observes the same
 // degraded fleet and books its own loss/recovery metrics.
@@ -76,6 +81,9 @@ int main(int argc, char** argv) {
   const bool mixed = flags.get_bool("mixed", false);
   const bool strict = flags.get_bool("strict", false);
   const std::string protocol = flags.get_string("protocol", "combined");
+  const std::size_t window = flags.get_uint("window", kInfiniteWindow);
+  const bool mixed_windows = flags.get_bool("mixed-windows", false);
+  const std::vector<std::size_t> window_cycle{kInfiniteWindow, 16, 64, 256};
 
   try {
     cfg.faults = make_fleet_schedule(fault_config_from_flags(flags, steps), spec.n);
@@ -95,6 +103,7 @@ int main(int argc, char** argv) {
         qs.k = spec.k;
         qs.epsilon = flags.get_double("protocol-eps", spec.epsilon);
       }
+      qs.window = mixed_windows ? window_cycle[q % window_cycle.size()] : window;
       qs.strict = strict;
       engine.add_query(qs);
     }

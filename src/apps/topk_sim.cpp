@@ -2,14 +2,19 @@
 //
 //   $ topk_sim --protocol combined --stream oscillating --n 32 --k 4
 //              --eps 0.15 --sigma 12 --steps 1000 --seed 7 [--opt exact|approx]
-//              [--strict] [--markdown] [--csv] [--dump-trace out.csv]
+//              [--window 64] [--strict] [--markdown] [--csv]
+//              [--dump-trace out.csv]
 //              [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
 //              [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
 //
 // Runs one protocol on one workload, prints the communication report, the
 // offline optimum on the observed history, and the competitive ratio.
 // Fault flags degrade the fleet (src/faults): churn, stragglers, lossy
-// links — individually or via a named preset.
+// links — individually or via a named preset. `--window W` switches to
+// sliding-window monitoring (src/model/window.hpp): the protocol tracks
+// top-k over per-node maxima of the last W steps; 0 (default) keeps the
+// paper's instantaneous semantics, and the OPT/history/--dump-trace then
+// operate on the windowed values the protocol actually saw.
 // `--list` enumerates registered protocols, stream kinds and fault presets.
 #include <iostream>
 
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
   cfg.epsilon = flags.get_double("protocol-eps", spec.epsilon);
   cfg.seed = flags.get_uint("seed", 42);
   cfg.strict = flags.get_bool("strict", true);
+  cfg.window = flags.get_uint("window", kInfiniteWindow);
   const std::string opt_kind = flags.get_string("opt", "approx");
   cfg.record_history = opt_kind != "none" || flags.has("dump-trace");
   const TimeStep steps = static_cast<TimeStep>(flags.get_uint("steps", 1000));
@@ -84,6 +90,10 @@ int main(int argc, char** argv) {
     t.add_row({"broadcasts", format_count(run.broadcasts)});
     t.add_row({"max rounds / step", format_count(run.max_rounds_per_step)});
     t.add_row({"max sigma observed", format_count(run.max_sigma)});
+    if (cfg.window != kInfiniteWindow) {
+      t.add_row({"window W (steps)", format_count(cfg.window)});
+      t.add_row({"window expirations", format_count(run.window_expirations)});
+    }
     if (cfg.faults) {
       t.add_row({"messages lost (links)", format_count(run.messages_lost)});
       t.add_row({"stale reads (fleet)", format_count(run.stale_reads)});

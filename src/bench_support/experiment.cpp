@@ -14,6 +14,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     sim_cfg.epsilon = cfg.epsilon;
     sim_cfg.seed = splitmix_combine(cfg.seed, trial);
     sim_cfg.strict = cfg.strict;
+    sim_cfg.window = cfg.window;
     sim_cfg.record_history = cfg.opt_kind != OptKind::kNone;
 
     StreamSpec spec = cfg.stream;

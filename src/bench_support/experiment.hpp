@@ -27,6 +27,10 @@ struct ExperimentConfig {
   std::size_t trials = 5;
   std::uint64_t seed = 42;
   bool strict = false;
+  /// Sliding-window length W (src/model/window.hpp); kInfiniteWindow (0) =
+  /// the paper's instantaneous semantics. The offline OPT of a windowed cell
+  /// is evaluated on the windowed history — the stream the protocol saw.
+  std::size_t window = kInfiniteWindow;
   OptKind opt_kind = OptKind::kApprox;
   /// ε′ for the offline optimum; negative = use `epsilon`.
   double opt_epsilon = -1.0;

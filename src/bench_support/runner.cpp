@@ -3,10 +3,11 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "engine/engine.hpp"
-#include "offline/opt.hpp"
+#include "offline/windowed_opt.hpp"
 #include "util/thread_pool.hpp"
 
 namespace topkmon {
@@ -43,6 +44,9 @@ std::string group_key(const ExperimentConfig& cfg) {
       << '|' << cfg.faults.churn_rate << '|' << cfg.faults.straggler_fraction
       << '|' << cfg.faults.max_delay << '|' << cfg.faults.loss << '|'
       << cfg.faults.seed;
+  // Cells differing only in W still share a group: the engine serves
+  // mixed-window queries from per-window views of one snapshot, so the key
+  // deliberately omits cfg.window.
   return oss.str();
 }
 
@@ -76,6 +80,7 @@ TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
     q.protocol = c->protocol;
     q.k = c->k;
     q.epsilon = c->epsilon;
+    q.window = c->window;
     q.strict = c->strict;
     q.seed = sim_seed;
     engine.add_query(std::move(q));
@@ -89,21 +94,25 @@ TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
   TrialOutcome out;
   out.runs.reserve(cells.size());
   out.opt_phases.assign(cells.size(), std::nan(""));
-  std::map<std::pair<int, double>, std::uint64_t> opt_cache;
+  // The engine history is pre-window; the windowed OPT of a cell re-windows
+  // it with the cell's W (exactly what that query's protocol saw), cached
+  // per distinct (kind, ε′, W).
+  std::map<std::tuple<int, double, std::size_t>, std::uint64_t> opt_cache;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto* c = cells[i];
     out.runs.push_back(engine.query_sim(static_cast<QueryHandle>(i)).result());
     out.runs.back().stale_reads = fleet_stale;
     if (c->opt_kind == OptKind::kNone) continue;
     const double eps_opt = c->opt_epsilon < 0.0 ? c->epsilon : c->opt_epsilon;
-    const auto key = std::make_pair(
+    const auto key = std::make_tuple(
         static_cast<int>(c->opt_kind),
-        c->opt_kind == OptKind::kExact ? 0.0 : eps_opt);
+        c->opt_kind == OptKind::kExact ? 0.0 : eps_opt, c->window);
     auto it = opt_cache.find(key);
     if (it == opt_cache.end()) {
-      const OptReport opt = c->opt_kind == OptKind::kExact
-                                ? OfflineOpt::exact(engine.history(), c->k)
-                                : OfflineOpt::approx(engine.history(), c->k, eps_opt);
+      const OptReport opt =
+          c->opt_kind == OptKind::kExact
+              ? WindowedOpt::exact(engine.history(), c->k, c->window)
+              : WindowedOpt::approx(engine.history(), c->k, eps_opt, c->window);
       it = opt_cache.emplace(key, opt.phases).first;
     }
     out.opt_phases[i] = static_cast<double>(it->second);

@@ -15,8 +15,7 @@ MonitoringEngine::MonitoringEngine(EngineConfig cfg,
       gen_(std::move(gen)),
       // Same derivation as Simulator's generator stream, so a Q = 1 engine
       // seeded like a Simulator replays the identical stream.
-      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)),
-      shared_probe_(cfg.seed) {
+      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)) {
   TOPKMON_ASSERT(gen_ != nullptr);
   TOPKMON_ASSERT(gen_->n() > 0);
   snapshot_.resize(gen_->n());
@@ -24,9 +23,32 @@ MonitoringEngine::MonitoringEngine(EngineConfig cfg,
     TOPKMON_ASSERT_MSG(cfg_.faults->n() == gen_->n(),
                        "fault schedule sized for wrong fleet");
     injector_ = std::make_unique<FaultInjector>(cfg_.faults);
-    shared_probe_.enable_loss(cfg_.faults->loss(),
-                              Rng::derive(cfg_.seed, /*stream_id=*/0x1055));
   }
+  probe_for(kInfiniteWindow);  // always present, pre-window seeding
+}
+
+SharedProbe& MonitoringEngine::probe_for(std::size_t window) {
+  for (WindowProbe& wp : probes_) {
+    if (wp.window == window) return *wp.probe;
+  }
+  TOPKMON_ASSERT_MSG(!started_, "probe channels are fixed once the engine started");
+  // The unwindowed channel keeps the historical seeding; windowed channels
+  // derive theirs from (engine seed, W) so distinct windows get independent
+  // sampling randomness while staying reproducible. The 0x57EB domain salt
+  // keeps probe seeds disjoint from the per-query sim seeds
+  // splitmix_combine(cfg_.seed, handle) — a handle numerically equal to a
+  // window length must not yield correlated RNG streams.
+  const std::uint64_t probe_seed =
+      window == kInfiniteWindow
+          ? cfg_.seed
+          : splitmix_combine(splitmix_combine(cfg_.seed, 0x57EB), window);
+  probes_.push_back({window, std::make_unique<SharedProbe>(probe_seed)});
+  SharedProbe& probe = *probes_.back().probe;
+  if (cfg_.faults) {
+    probe.enable_loss(cfg_.faults->loss(),
+                      Rng::derive(probe_seed, /*stream_id=*/0x1055));
+  }
+  return probe;
 }
 
 MonitoringEngine::~MonitoringEngine() = default;
@@ -43,21 +65,26 @@ QueryHandle MonitoringEngine::add_query(QuerySpec spec) {
   sim_cfg.seed = spec.seed ? *spec.seed : splitmix_combine(cfg_.seed, handle);
   sim_cfg.strict = spec.strict;
   sim_cfg.record_history = false;  // history is shared, kept engine-side
+  sim_cfg.window = kInfiniteWindow;  // windowing is engine-side, per distinct W
   auto sim = std::make_unique<Simulator>(sim_cfg, gen_->n(),
                                          make_protocol(spec.protocol));
+  step_snapshot_.add_window(spec.window, gen_->n());
   if (cfg_.share_probes) {
-    sim->context().set_probe_sharer(&shared_probe_);
+    sim->context().set_probe_sharer(&probe_for(spec.window));
   }
-  // σ(t) is a pure function of the shared snapshot; memoize it per step per
-  // distinct (k, ε) instead of recomputing per query.
-  sim->set_sigma_hook([this](std::size_t k, double epsilon) {
-    return step_snapshot_.sigma(k, epsilon);
+  // σ(t) is a pure function of the query's view of the shared snapshot;
+  // memoize it per step per distinct (W, k, ε) instead of per query.
+  sim->set_sigma_hook([this, window = spec.window](std::size_t k, double epsilon) {
+    return step_snapshot_.sigma(window, k, epsilon);
   });
   if (cfg_.faults) {
     // Loss accounting + membership recovery per query; value injection stays
     // engine-side (the shared snapshot is transformed once per step).
     sim->attach_fault_channel(cfg_.faults);
   }
+  // Expiry dispatch + metric come from the shared per-window model; the
+  // value transform itself stays engine-side (see step()).
+  sim->attach_window_channel(step_snapshot_.model(spec.window));
   pending_.push_back(std::move(sim));
   specs_.push_back(std::move(spec));
   return handle;
@@ -82,7 +109,8 @@ void MonitoringEngine::ensure_started() {
   for (std::size_t q = 0; q < pending_.size(); ++q) {
     const std::size_t s = q % shard_count;
     locate_[q] = {s, shards_[s].size()};
-    shards_[s].add(static_cast<QueryHandle>(q), std::move(pending_[q]));
+    shards_[s].add(static_cast<QueryHandle>(q), specs_[q].window,
+                   std::move(pending_[q]));
   }
   pending_.clear();
 
@@ -112,17 +140,21 @@ void MonitoringEngine::step() {
   const ValueVector& eff =
       injector_ ? injector_->transform(next_t_, snapshot_) : snapshot_;
 
-  // (3) Arm the per-step caches, then advance all shards.
-  step_snapshot_.begin_step(eff);
+  // (3) Arm the per-step caches — the snapshot advances every windowed view
+  // exactly once, and each probe channel points at its window's vector —
+  // then advance all shards.
+  step_snapshot_.begin_step(next_t_, eff);
   if (cfg_.share_probes) {
-    shared_probe_.begin_step(&eff);
+    for (WindowProbe& wp : probes_) {
+      wp.probe->begin_step(&step_snapshot_.values(wp.window));
+    }
   }
   if (pool_) {
     parallel_for(*pool_, shards_.size(),
-                 [&](std::size_t s) { shards_[s].step(eff); });
+                 [&](std::size_t s) { shards_[s].step(step_snapshot_); });
   } else {
     for (auto& shard : shards_) {
-      shard.step(eff);
+      shard.step(step_snapshot_);
     }
   }
 
@@ -155,19 +187,24 @@ EngineStats MonitoringEngine::stats() const {
     qs.protocol = specs_[q].protocol;
     qs.k = specs_[q].k;
     qs.epsilon = specs_[q].epsilon;
+    qs.window = specs_[q].window;
     qs.run = sim.result();
     qs.output = sim.protocol().output();
     s.query_messages += qs.run.messages;
     s.messages_lost += qs.run.messages_lost;
     s.recovery_rounds += qs.run.recovery_rounds;
+    s.windowed |= specs_[q].window != kInfiniteWindow;
     s.queries.push_back(std::move(qs));
   }
-  s.shared_probe_messages = shared_probe_.stats().total();
-  s.messages_lost += shared_probe_.stats().messages_lost();
+  for (const WindowProbe& wp : probes_) {
+    s.shared_probe_messages += wp.probe->stats().total();
+    s.messages_lost += wp.probe->stats().messages_lost();
+    s.probe_calls += wp.probe->calls();
+    s.probe_ranks_computed += wp.probe->ranks_computed();
+  }
   s.stale_reads = injector_ ? injector_->total_stale() : 0;
+  s.window_expirations = step_snapshot_.window_expirations();
   s.total_messages = s.query_messages + s.shared_probe_messages;
-  s.probe_calls = shared_probe_.calls();
-  s.probe_ranks_computed = shared_probe_.ranks_computed();
   s.elapsed_sec = elapsed_sec_;
   if (elapsed_sec_ > 0.0) {
     s.steps_per_sec = static_cast<double>(s.steps) / elapsed_sec_;

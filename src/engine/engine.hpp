@@ -16,6 +16,10 @@
 //      query that probes (see engine/shared_probe.hpp; disable with
 //      `share_probes = false` for per-query accounting identical to
 //      standalone Simulators).
+//   4. Sliding-window queries (QuerySpec::window, src/model/window.hpp) are
+//      served from per-window views of the shared snapshot: each distinct W
+//      maintains its window maxima, sort, σ cache, and probe channel once
+//      per step, shared by every query of that W.
 //
 // Determinism: per-query seeds derive from the engine seed via
 // splitmix_combine, and the shared probe is schedule-independent, so results
@@ -88,16 +92,32 @@ class MonitoringEngine {
   const OutputSet& output(QueryHandle h) const;
 
   /// Shared snapshot history (empty unless cfg.record_history); recorded
-  /// once per step — not once per query.
+  /// once per step — not once per query — and *pre-window*: the effective
+  /// (possibly fault-degraded) vector before any per-window transform.
+  /// Windowed offline baselines re-window it per W (offline/windowed_opt).
   const std::vector<ValueVector>& history() const { return history_; }
 
  private:
   void ensure_started();
 
+  /// The shared probe channel of one window length: queries with the same W
+  /// observe the same windowed fleet, so their probe_top traffic batches;
+  /// queries with different W ask about different value vectors and need
+  /// separate channels. probes_[0] is always the unwindowed channel and is
+  /// seeded exactly as the pre-window engine seeded its single probe, so
+  /// all-unwindowed engines stay bit-identical.
+  struct WindowProbe {
+    std::size_t window;
+    std::unique_ptr<SharedProbe> probe;
+  };
+
+  /// The probe channel serving window length `window`, created on first use.
+  SharedProbe& probe_for(std::size_t window);
+
   EngineConfig cfg_;
   std::unique_ptr<StreamGenerator> gen_;
   Rng gen_rng_;
-  SharedProbe shared_probe_;
+  std::vector<WindowProbe> probes_;
   StepSnapshot step_snapshot_;
   std::unique_ptr<FaultInjector> injector_;  ///< null = fault-free fleet
 

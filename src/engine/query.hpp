@@ -10,6 +10,8 @@
 #include <optional>
 #include <string>
 
+#include "model/window.hpp"
+
 namespace topkmon {
 
 /// Dense per-engine query index (assigned in add_query order).
@@ -20,6 +22,13 @@ struct QuerySpec {
   std::size_t k = 3;
   double epsilon = 0.1;
   bool strict = false;  ///< oracle-validate output/filters after every step
+
+  /// Sliding-window length W (src/model/window.hpp): the query monitors
+  /// top-k over per-node window maxima of the last W steps. kInfiniteWindow
+  /// (0) = the paper's instantaneous semantics. One engine serves queries
+  /// with mixed W over one fleet; each distinct W maintains one shared
+  /// windowed view of the step snapshot, not one per query.
+  std::size_t window = kInfiniteWindow;
 
   /// Protocol-side seed. Unset: derived deterministically from the engine
   /// seed and the handle via splitmix_combine, so distinct queries get

@@ -4,15 +4,17 @@
 
 namespace topkmon {
 
-void EngineShard::add(QueryHandle handle, std::unique_ptr<Simulator> sim) {
+void EngineShard::add(QueryHandle handle, std::size_t window,
+                      std::unique_ptr<Simulator> sim) {
   TOPKMON_ASSERT(sim != nullptr);
   handles_.push_back(handle);
+  windows_.push_back(window);
   sims_.push_back(std::move(sim));
 }
 
-void EngineShard::step(const ValueVector& snapshot) {
-  for (auto& sim : sims_) {
-    sim->step_with(snapshot);
+void EngineShard::step(const StepSnapshot& snapshot) {
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    sims_[i]->step_with(snapshot.values(windows_[i]));
   }
 }
 

@@ -2,26 +2,31 @@
 //
 // A shard owns the Simulators (and through them the SimContexts) of the
 // queries assigned to it and advances them sequentially within a time step;
-// different shards run concurrently on the thread pool. Because every query
-// carries its own derived RNG streams and the only cross-shard touchpoint
-// (SharedProbe) is schedule-independent, results do not depend on the shard
-// partition or thread count.
+// different shards run concurrently on the thread pool. Each query carries
+// the window length of its view, so a shard can serve mixed-window queries:
+// per step it hands every simulator the shared snapshot's vector for that
+// query's W. Because every query carries its own derived RNG streams and
+// the only cross-shard touchpoints (SharedProbe, StepSnapshot sigma cache)
+// are schedule-independent, results do not depend on the shard partition or
+// thread count.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "engine/query.hpp"
+#include "engine/snapshot.hpp"
 #include "sim/simulator.hpp"
 
 namespace topkmon {
 
 class EngineShard {
  public:
-  void add(QueryHandle handle, std::unique_ptr<Simulator> sim);
+  void add(QueryHandle handle, std::size_t window, std::unique_ptr<Simulator> sim);
 
-  /// Advances every owned query by one step on the shared snapshot.
-  void step(const ValueVector& snapshot);
+  /// Advances every owned query by one step on its window's view of the
+  /// shared snapshot.
+  void step(const StepSnapshot& snapshot);
 
   std::size_t size() const { return sims_.size(); }
   QueryHandle handle(std::size_t i) const { return handles_[i]; }
@@ -30,6 +35,7 @@ class EngineShard {
 
  private:
   std::vector<QueryHandle> handles_;
+  std::vector<std::size_t> windows_;  ///< per query, parallel to sims_
   std::vector<std::unique_ptr<Simulator>> sims_;
 };
 

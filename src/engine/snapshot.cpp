@@ -8,22 +8,72 @@
 
 namespace topkmon {
 
-void StepSnapshot::begin_step(const ValueVector& values) {
-  values_ = &values;
-  sorted_desc_.assign(values.begin(), values.end());
-  std::sort(sorted_desc_.begin(), sorted_desc_.end(), std::greater<Value>());
-  sigma_cache_.clear();
+StepSnapshot::StepSnapshot() {
+  views_.emplace_back();  // the unwindowed view
 }
 
-std::size_t StepSnapshot::sigma(std::size_t k, double epsilon) {
-  TOPKMON_ASSERT(values_ != nullptr);
+void StepSnapshot::add_window(std::size_t window, std::size_t n) {
+  if (window == kInfiniteWindow) return;
+  TOPKMON_ASSERT_MSG(!started_, "windows must register before the first step");
+  for (const View& v : views_) {
+    if (v.window == window) return;
+  }
+  View v;
+  v.window = window;
+  v.model = std::make_unique<WindowedValueModel>(n, window);
+  views_.push_back(std::move(v));
+}
+
+void StepSnapshot::begin_step(TimeStep t, const ValueVector& values) {
+  started_ = true;
+  for (View& v : views_) {
+    v.values = v.model ? &v.model->push(t, values) : &values;
+    v.sorted_desc.assign(v.values->begin(), v.values->end());
+    std::sort(v.sorted_desc.begin(), v.sorted_desc.end(), std::greater<Value>());
+    v.sigma_cache.clear();
+  }
+}
+
+StepSnapshot::View& StepSnapshot::view_for(std::size_t window) {
+  for (View& v : views_) {
+    if (v.window == window) return v;
+  }
+  TOPKMON_ASSERT_MSG(false, "window length was never registered");
+  return views_.front();  // unreachable
+}
+
+const StepSnapshot::View& StepSnapshot::view_for(std::size_t window) const {
+  return const_cast<StepSnapshot*>(this)->view_for(window);
+}
+
+const ValueVector& StepSnapshot::values(std::size_t window) const {
+  const View& v = view_for(window);
+  TOPKMON_ASSERT(v.values != nullptr);
+  return *v.values;
+}
+
+const WindowedValueModel* StepSnapshot::model(std::size_t window) const {
+  return view_for(window).model.get();
+}
+
+std::size_t StepSnapshot::sigma(std::size_t window, std::size_t k, double epsilon) {
+  View& v = view_for(window);
+  TOPKMON_ASSERT(v.values != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : sigma_cache_) {
+  for (const auto& e : v.sigma_cache) {
     if (e.k == k && e.epsilon == epsilon) return e.sigma;
   }
-  const std::size_t s = Oracle::sigma_sorted(sorted_desc_, k, epsilon);
-  sigma_cache_.push_back({k, epsilon, s});
+  const std::size_t s = Oracle::sigma_sorted(v.sorted_desc, k, epsilon);
+  v.sigma_cache.push_back({k, epsilon, s});
   return s;
+}
+
+std::uint64_t StepSnapshot::window_expirations() const {
+  std::uint64_t total = 0;
+  for (const View& v : views_) {
+    if (v.model) total += v.model->total_expirations();
+  }
+  return total;
 }
 
 }  // namespace topkmon

@@ -1,46 +1,77 @@
 // StepSnapshot — the engine's shared per-step view of the fleet.
 //
 // Every query of an engine observes the same observation vector, so
-// value-only derived quantities are computed once per step and shared:
-// the descending sort of the values, and σ(t) per distinct (k, ε) — the
-// validator-side quantity every query's Simulator tracks, which standalone
-// costs an O(n log n) sort + allocations per query per step. All cached
+// value-only derived quantities are computed once per step and shared. With
+// sliding-window queries (src/model/window.hpp) the snapshot carries one
+// *view* per distinct window length W registered before the first step: the
+// windowed value vector (per-node window maxima, maintained once per step —
+// not once per query), its descending sort, and σ(t) per distinct (k, ε) —
+// the validator-side quantity every query's Simulator tracks, which
+// standalone costs an O(n log n) sort + allocations per query per step. The
+// W = kInfiniteWindow view borrows the raw snapshot untouched. All cached
 // quantities are pure functions of the snapshot (no randomness), so sharing
 // is exact and schedule-independent.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "model/types.hpp"
+#include "model/window.hpp"
 
 namespace topkmon {
 
 class StepSnapshot {
  public:
+  StepSnapshot();
+
+  /// Registers a window length (idempotent); must happen before the first
+  /// begin_step. The unwindowed view (kInfiniteWindow) is always present.
+  void add_window(std::size_t window, std::size_t n);
+
   /// Points the snapshot at the step's observation vector (borrowed; must
-  /// outlive the step) and invalidates the caches. Called serially by the
-  /// engine before shards run.
-  void begin_step(const ValueVector& values);
+  /// outlive the step), advances every windowed view by one step, and
+  /// invalidates the caches. Called serially by the engine before shards
+  /// run, once per step with consecutive t starting at 0.
+  void begin_step(TimeStep t, const ValueVector& values);
 
-  const ValueVector& values() const { return *values_; }
+  /// The step's value vector as queries with window `window` observe it.
+  const ValueVector& values(std::size_t window = kInfiniteWindow) const;
 
-  /// σ(t) for (k, ε) on the current snapshot; cached, thread-safe, and
+  /// The window model behind a view; null for kInfiniteWindow. Stable across
+  /// steps — per-query simulators hold it as their window channel.
+  const WindowedValueModel* model(std::size_t window) const;
+
+  /// σ(t) for (k, ε) on the view of `window`; cached, thread-safe, and
   /// identical to Oracle::sigma on the same values.
-  std::size_t sigma(std::size_t k, double epsilon);
+  std::size_t sigma(std::size_t window, std::size_t k, double epsilon);
+
+  /// Window expiries across all views and steps so far (fleet-level metric).
+  std::uint64_t window_expirations() const;
 
  private:
-  const ValueVector* values_ = nullptr;
-  ValueVector sorted_desc_;
+  struct View {
+    std::size_t window = kInfiniteWindow;
+    std::unique_ptr<WindowedValueModel> model;  ///< null for kInfiniteWindow
+    const ValueVector* values = nullptr;
+    ValueVector sorted_desc;
 
-  struct SigmaEntry {
-    std::size_t k;
-    double epsilon;
-    std::size_t sigma;
+    struct SigmaEntry {
+      std::size_t k;
+      double epsilon;
+      std::size_t sigma;
+    };
+    std::vector<SigmaEntry> sigma_cache;  ///< few distinct (k, ε); linear scan
   };
-  std::mutex mu_;
-  std::vector<SigmaEntry> sigma_cache_;  ///< few distinct (k, ε); linear scan
+
+  View& view_for(std::size_t window);
+  const View& view_for(std::size_t window) const;
+
+  std::vector<View> views_;  ///< views_[0] is always the unwindowed view
+  bool started_ = false;
+  std::mutex mu_;  ///< guards the sigma caches (shards query concurrently)
 };
 
 }  // namespace topkmon

@@ -20,6 +20,7 @@ struct QueryStats {
   std::string protocol;
   std::size_t k = 0;
   double epsilon = 0.0;
+  std::size_t window = 0;  ///< sliding-window length W; 0 = unwindowed
   RunResult run;
   OutputSet output;
 };
@@ -38,6 +39,10 @@ struct EngineStats {
   std::uint64_t messages_lost = 0;    ///< retransmissions, queries + shared probe
   std::uint64_t stale_reads = 0;      ///< fleet observations served from the past
   std::uint64_t recovery_rounds = 0;  ///< Σ per-query membership recoveries
+
+  // Window metrics (src/model/window.hpp; zero without windowed queries).
+  bool windowed = false;                   ///< any query with W > 0
+  std::uint64_t window_expirations = 0;    ///< Σ expiries across window views
 
   double elapsed_sec = 0.0;
   double steps_per_sec = 0.0;        ///< engine time steps per wall second

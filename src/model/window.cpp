@@ -1,0 +1,81 @@
+#include "model/window.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+WindowedValueModel::WindowedValueModel(std::size_t n, std::size_t window)
+    : window_(window), deques_(n), out_(n, 0) {
+  TOPKMON_ASSERT_MSG(window >= 1, "windowed model needs W >= 1 (W = 0 means no model)");
+}
+
+const ValueVector& WindowedValueModel::push(TimeStep t, const ValueVector& raw) {
+  TOPKMON_ASSERT_MSG(raw.size() == deques_.size(), "observation vector sized for wrong fleet");
+  TOPKMON_ASSERT_MSG(t == next_t_, "window model must see consecutive steps");
+  ++next_t_;
+
+  last_expirations_ = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto& dq = deques_[i];
+    const Value prev_max = dq.empty() ? 0 : dq.front().v;
+    const bool had_max = !dq.empty();
+
+    // Evict entries that slid out of the window (t − W < s ≤ t stays).
+    bool evicted = false;
+    while (!dq.empty() &&
+           dq.front().t + static_cast<TimeStep>(window_) <= t) {
+      dq.pop_front();
+      evicted = true;
+    }
+    // Monotonic insert: entries dominated by the new value can never be a
+    // future window maximum (newer and no larger).
+    const Value v = raw[i];
+    while (!dq.empty() && dq.back().v <= v) {
+      dq.pop_back();
+    }
+    dq.push_back({t, v});
+
+    out_[i] = dq.front().v;
+    // An expiry requires the drop to leave the node reading a *retained
+    // older* observation: when the fresh observation itself becomes the
+    // maximum (always the case for W = 1), the node simply tracks the live
+    // stream — that is an ordinary value decrease, not an expiry.
+    if (had_max && evicted && out_[i] < prev_max && dq.front().t != t) {
+      ++last_expirations_;
+    }
+  }
+  total_expirations_ += last_expirations_;
+  return out_;
+}
+
+ValueVector naive_window_max(const std::vector<ValueVector>& history,
+                             std::size_t row, std::size_t window) {
+  TOPKMON_ASSERT(row < history.size());
+  TOPKMON_ASSERT(window >= 1);
+  ValueVector out = history[row];
+  const std::size_t first = row + 1 >= window ? row + 1 - window : 0;
+  for (std::size_t s = first; s < row; ++s) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::max(out[i], history[s][i]);
+    }
+  }
+  return out;
+}
+
+std::vector<ValueVector> windowed_history(const std::vector<ValueVector>& history,
+                                          std::size_t window) {
+  if (window == kInfiniteWindow || history.empty()) {
+    return history;
+  }
+  WindowedValueModel model(history.front().size(), window);
+  std::vector<ValueVector> out;
+  out.reserve(history.size());
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    out.push_back(model.push(static_cast<TimeStep>(t), history[t]));
+  }
+  return out;
+}
+
+}  // namespace topkmon

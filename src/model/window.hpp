@@ -1,0 +1,86 @@
+// Sliding-window value model — per-node window maxima over the last W steps.
+//
+// The paper's protocols monitor the *instantaneous* observation v_i^t of
+// every node. Production monitoring is usually windowed ("top-k over the
+// last W steps", cf. Chan–Lam–Lee–Ting): node i's monitored reading at step
+// t becomes max{ v_i^s : t−W < s ≤ t }. The WindowedValueModel realizes that
+// transform as a per-node monotonic deque — O(1) amortized per node per
+// step, O(W) worst-case memory per node — and sits on the same injection
+// seam as the fault layer (between Stream and Node), so every protocol runs
+// unmodified against windowed readings: the windowed vector is just another
+// value stream.
+//
+// W = ∞ (represented as kInfiniteWindow = 0) means "no windowing": the model
+// is simply not installed and observations pass through untouched, which is
+// the paper's semantics and bit-identical to the pre-window code path.
+//
+// A *window expiry* at node i is a step where i's window maximum strictly
+// drops because the old maximum slid out of the window and an older
+// *retained* observation took over — the fresh observation did not replace
+// it (so W = 1 never expires: the fresh observation is always the maximum,
+// exactly the unwindowed semantics). Expiries are the windowed counterpart of the
+// fault layer's stale reads: a fleet-level signal (surfaced as
+// `window_expirations` in RunResult/EngineStats) and the trigger for the
+// protocols' cache-invalidation hook (MonitoringProtocol::on_window_expiry).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+/// Window length meaning "unwindowed" (the paper's instantaneous semantics).
+inline constexpr std::size_t kInfiniteWindow = 0;
+
+class WindowedValueModel {
+ public:
+  /// Model for an n-node fleet with window length `window` ≥ 1.
+  WindowedValueModel(std::size_t n, std::size_t window);
+
+  /// Absorbs the step-t observation vector (size n) and returns the per-node
+  /// window maxima — max over the last min(W, t+1) observations. Must be
+  /// called once per step with consecutive t starting at 0; the returned
+  /// reference is owned by the model and valid until the next call.
+  const ValueVector& push(TimeStep t, const ValueVector& raw);
+
+  /// The current windowed vector (last push result).
+  const ValueVector& values() const { return out_; }
+
+  std::size_t n() const { return deques_.size(); }
+  std::size_t window() const { return window_; }
+
+  /// Nodes whose window maximum dropped by pure eviction in the most recent
+  /// push() (see file comment).
+  std::uint64_t last_expirations() const { return last_expirations_; }
+
+  /// Window expiries across all steps so far.
+  std::uint64_t total_expirations() const { return total_expirations_; }
+
+ private:
+  struct Entry {
+    TimeStep t;
+    Value v;
+  };
+
+  std::size_t window_;
+  std::vector<std::deque<Entry>> deques_;  ///< per node, values strictly decreasing
+  ValueVector out_;
+  TimeStep next_t_ = 0;
+  std::uint64_t last_expirations_ = 0;
+  std::uint64_t total_expirations_ = 0;
+};
+
+/// Reference recomputation for tests and offline tooling: row `row` of the
+/// windowed history — per-node max over raw rows (row−W, row]. O(n·W).
+ValueVector naive_window_max(const std::vector<ValueVector>& history,
+                             std::size_t row, std::size_t window);
+
+/// The whole history windowed: row t = per-node max over raw rows (t−W, t].
+/// W = kInfiniteWindow returns the history unchanged. O(T·n) via the model.
+std::vector<ValueVector> windowed_history(const std::vector<ValueVector>& history,
+                                          std::size_t window);
+
+}  // namespace topkmon

@@ -1,0 +1,23 @@
+#include "offline/windowed_opt.hpp"
+
+#include "model/window.hpp"
+
+namespace topkmon {
+
+OptReport WindowedOpt::approx(const std::vector<ValueVector>& raw_history,
+                              std::size_t k, double eps_opt, std::size_t window) {
+  if (window == kInfiniteWindow) {
+    return OfflineOpt::approx(raw_history, k, eps_opt);
+  }
+  return OfflineOpt::approx(windowed_history(raw_history, window), k, eps_opt);
+}
+
+OptReport WindowedOpt::exact(const std::vector<ValueVector>& raw_history,
+                             std::size_t k, std::size_t window) {
+  if (window == kInfiniteWindow) {
+    return OfflineOpt::exact(raw_history, k);
+  }
+  return OfflineOpt::exact(windowed_history(raw_history, window), k);
+}
+
+}  // namespace topkmon

@@ -1,0 +1,39 @@
+// Windowed offline optimum — the competitive-ratio baseline for
+// sliding-window monitoring (src/model/window.hpp).
+//
+// A windowed monitor answers top-k over the per-node window maxima, so the
+// fair offline opponent is OfflineOpt evaluated on the *windowed* history:
+// feed it the same transformed value matrix the online algorithm saw and the
+// greedy maximal-phase argument (opt.hpp) applies verbatim — the windowed
+// vectors are just another value stream. These wrappers take the RAW
+// recorded history plus W and window it internally (O(T·n) via the monotonic
+// deque model), which is what engine-side callers hold: the engine records
+// one shared pre-window history per step while queries with different W each
+// see their own transform of it.
+//
+// Standalone Simulators record the windowed history directly (what the
+// algorithm saw), so OfflineOpt on sim.history() and WindowedOpt on the raw
+// trace agree — a property the window test suite pins down.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/types.hpp"
+#include "offline/opt.hpp"
+
+namespace topkmon {
+
+class WindowedOpt {
+ public:
+  /// ε′-error offline optimum over the raw history windowed with W.
+  /// W = kInfiniteWindow degenerates to OfflineOpt::approx on the raw rows.
+  static OptReport approx(const std::vector<ValueVector>& raw_history, std::size_t k,
+                          double eps_opt, std::size_t window);
+
+  /// Exact offline optimum over the raw history windowed with W.
+  static OptReport exact(const std::vector<ValueVector>& raw_history, std::size_t k,
+                         std::size_t window);
+};
+
+}  // namespace topkmon

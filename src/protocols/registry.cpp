@@ -1,5 +1,7 @@
 #include "protocols/registry.hpp"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "protocols/combined.hpp"
@@ -10,19 +12,76 @@
 
 namespace topkmon {
 
+namespace {
+
+// std::map keeps the table sorted by name, so listing is sorted and
+// duplicate-free by construction.
+using Registry = std::map<std::string, ProtocolFactory>;
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+template <typename P>
+void add_builtin(Registry& reg) {
+  reg.emplace(P{}.name(), [] { return std::make_unique<P>(); });
+}
+
+Registry& registry_locked() {
+  static Registry reg = [] {
+    Registry r;
+    add_builtin<CombinedMonitor>(r);
+    add_builtin<ExactTopKMonitor>(r);
+    add_builtin<HalfErrorMonitor>(r);
+    add_builtin<NaiveCentralMonitor>(r);
+    add_builtin<NaiveChangeMonitor>(r);
+    add_builtin<TopKProtocol>(r);
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+void register_protocol(const std::string& name, ProtocolFactory factory) {
+  if (name.empty()) {
+    throw std::runtime_error("protocol registration needs a non-empty name");
+  }
+  if (factory == nullptr) {
+    throw std::runtime_error("protocol registration needs a factory: " + name);
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto [it, inserted] = registry_locked().emplace(name, std::move(factory));
+  if (!inserted) {
+    throw std::runtime_error("conflicting protocol re-registration: " + name);
+  }
+}
+
 std::unique_ptr<MonitoringProtocol> make_protocol(const std::string& name) {
-  if (name == "exact_topk") return std::make_unique<ExactTopKMonitor>();
-  if (name == "topk_protocol") return std::make_unique<TopKProtocol>();
-  if (name == "combined") return std::make_unique<CombinedMonitor>();
-  if (name == "half_error") return std::make_unique<HalfErrorMonitor>();
-  if (name == "naive_central") return std::make_unique<NaiveCentralMonitor>();
-  if (name == "naive_change") return std::make_unique<NaiveChangeMonitor>();
-  throw std::runtime_error("unknown protocol: " + name);
+  ProtocolFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const Registry& reg = registry_locked();
+    const auto it = reg.find(name);
+    if (it == reg.end()) {
+      throw std::runtime_error("unknown protocol: " + name);
+    }
+    factory = it->second;
+  }
+  return factory();
 }
 
 std::vector<std::string> protocol_names() {
-  return {"exact_topk", "topk_protocol", "combined",
-          "half_error", "naive_central", "naive_change"};
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const Registry& reg = registry_locked();
+  std::vector<std::string> names;
+  names.reserve(reg.size());
+  for (const auto& [name, factory] : reg) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
 }
 
 }  // namespace topkmon

@@ -1,6 +1,13 @@
-// Name-based protocol factory for CLI tools, benches and matrix tests.
+// Name-based protocol registry for CLI tools, benches and matrix tests.
+//
+// Protocols register a factory under a unique name. The built-in monitors
+// self-register on first use; extensions (tests, experiments, downstream
+// embedders) add theirs with register_protocol. Names are unique — a second
+// registration under an existing name is a conflicting re-registration and
+// throws — and protocol_names() is always sorted and duplicate-free.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,12 +16,19 @@
 
 namespace topkmon {
 
+using ProtocolFactory = std::function<std::unique_ptr<MonitoringProtocol>()>;
+
+/// Registers `factory` under `name`. Throws std::runtime_error when the name
+/// is empty or already registered (conflicting re-registration) — silently
+/// shadowing an existing protocol would corrupt every name-based experiment.
+void register_protocol(const std::string& name, ProtocolFactory factory);
+
 /// Constructs the monitoring protocol named `name`; throws
-/// std::runtime_error for unknown names. Known names: exact_topk,
-/// topk_protocol, combined, half_error, naive_central, naive_change.
+/// std::runtime_error for unknown names. Built-in names: combined,
+/// exact_topk, half_error, naive_central, naive_change, topk_protocol.
 std::unique_ptr<MonitoringProtocol> make_protocol(const std::string& name);
 
-/// All registered protocol names.
+/// All registered protocol names, sorted ascending, no duplicates.
 std::vector<std::string> protocol_names();
 
 }  // namespace topkmon

@@ -32,6 +32,17 @@ class MonitoringProtocol {
   /// on the fault-free path.
   virtual void on_membership_change(SimContext& ctx) { start(ctx); }
 
+  /// Window-expiry hook: called *instead of* on_step() at steps where some
+  /// node's window maximum dropped purely because its old maximum slid out
+  /// of the window (sliding-window mode, src/model/window.hpp) — a value
+  /// decrease no fresh observation caused. Cached filters/thresholds keyed
+  /// to the expired maxima may now sit arbitrarily above the live window;
+  /// the default treats the step as ordinary (the filter-violation machinery
+  /// catches downward moves), protocols caching value-derived state override
+  /// to invalidate it. Never called on the unwindowed (W = ∞) path; a
+  /// membership change in the same step takes precedence.
+  virtual void on_window_expiry(SimContext& ctx) { on_step(ctx); }
+
   /// The server's current output F(t); size k.
   virtual const OutputSet& output() const = 0;
 

@@ -20,6 +20,10 @@ Simulator::Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
     attach_fault_channel(cfg_.faults);
     injector_ = std::make_unique<FaultInjector>(cfg_.faults);
   }
+  if (cfg_.window != kInfiniteWindow) {
+    window_model_ = std::make_unique<WindowedValueModel>(gen_->n(), cfg_.window);
+    window_view_ = window_model_.get();
+  }
 }
 
 Simulator::Simulator(SimConfig cfg, std::size_t n,
@@ -34,6 +38,17 @@ Simulator::Simulator(SimConfig cfg, std::size_t n,
     attach_fault_channel(cfg_.faults);
     injector_ = std::make_unique<FaultInjector>(cfg_.faults);
   }
+  if (cfg_.window != kInfiniteWindow) {
+    window_model_ = std::make_unique<WindowedValueModel>(n, cfg_.window);
+    window_view_ = window_model_.get();
+  }
+}
+
+void Simulator::attach_window_channel(const WindowedValueModel* model) {
+  TOPKMON_ASSERT_MSG(window_model_ == nullptr,
+                     "window channel conflicts with SimConfig::window");
+  TOPKMON_ASSERT_MSG(next_t_ == 0, "window channel must attach before the first step");
+  window_view_ = model;
 }
 
 void Simulator::attach_fault_channel(FleetSchedulePtr faults) {
@@ -62,8 +77,13 @@ void Simulator::step_with(const ValueVector& values) {
   // Standalone fault injection: churn/straggler effects rewrite the true
   // vector into what the fleet actually observes. (Engine-driven simulators
   // receive pre-transformed snapshots; their injector_ stays null.)
-  const ValueVector& eff =
+  const ValueVector& faulted =
       injector_ ? injector_->transform(next_t_, values) : values;
+  // Standalone windowing: nodes report the maximum of what they observed
+  // over the last W steps. (Engine-driven simulators receive pre-windowed
+  // snapshots; their window_model_ stays null.)
+  const ValueVector& eff =
+      window_model_ ? window_model_->push(next_t_, faulted) : faulted;
 
   ctx_.stats().begin_step();
   ctx_.advance_time(eff);
@@ -76,6 +96,8 @@ void Simulator::step_with(const ValueVector& values) {
   } else if (faults_ && faults_->membership_changed_at(next_t_)) {
     protocol_->on_membership_change(ctx_);
     ctx_.stats().add_recovery();
+  } else if (window_view_ && window_view_->last_expirations() > 0) {
+    protocol_->on_window_expiry(ctx_);
   } else {
     protocol_->on_step(ctx_);
   }
@@ -140,6 +162,7 @@ RunResult Simulator::result() const {
   r.messages_lost = s.messages_lost();
   r.stale_reads = s.stale_reads();
   r.recovery_rounds = s.recovery_rounds();
+  r.window_expirations = window_view_ ? window_view_->total_expirations() : 0;
   r.messages_per_step =
       r.steps == 0 ? 0.0
                    : static_cast<double>(r.messages) / static_cast<double>(r.steps);

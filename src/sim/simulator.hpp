@@ -15,6 +15,7 @@
 
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "model/window.hpp"
 #include "sim/context.hpp"
 #include "sim/protocol.hpp"
 #include "sim/stream.hpp"
@@ -35,6 +36,13 @@ struct SimConfig {
   /// protocol's recovery hook on membership changes. An all-zero schedule
   /// reproduces the fault-free run bit-identically.
   FleetSchedulePtr faults;
+
+  /// Sliding-window mode (src/model/window.hpp): with window ≥ 1 the
+  /// protocol monitors per-node window maxima over the last `window` steps
+  /// instead of instantaneous values; kInfiniteWindow (0) keeps the paper's
+  /// semantics bit-identically. The transform applies *after* fault
+  /// injection — nodes window what they actually observed.
+  std::size_t window = kInfiniteWindow;
 };
 
 struct RunResult {
@@ -52,6 +60,11 @@ struct RunResult {
   std::uint64_t messages_lost = 0;    ///< retransmissions on lossy links
   std::uint64_t stale_reads = 0;      ///< observations served from the past
   std::uint64_t recovery_rounds = 0;  ///< membership-change recoveries run
+
+  /// Window metric (zero on the unwindowed path): nodes whose window maximum
+  /// expired (dropped by pure eviction). Fleet-level, like stale_reads — on
+  /// the engine path every query of a window reports the shared total.
+  std::uint64_t window_expirations = 0;
 };
 
 class Simulator {
@@ -111,6 +124,18 @@ class Simulator {
   /// The attached fault schedule (null on the fault-free path).
   const FleetSchedule* faults() const { return faults_.get(); }
 
+  /// Engine plumbing: points this query at the engine's shared per-window
+  /// value model WITHOUT value transformation — the engine windows the
+  /// shared snapshot once per step before fanning it out, and per-query
+  /// simulators only consult the model for expiry dispatch (the
+  /// on_window_expiry hook) and the window_expirations metric. Standalone
+  /// use goes through SimConfig::window instead, which owns a model and
+  /// additionally applies the transform in step_with().
+  void attach_window_channel(const WindowedValueModel* model);
+
+  /// The window model in effect (owned or engine-shared); null = unwindowed.
+  const WindowedValueModel* window_model() const { return window_view_; }
+
  private:
   void validate_strict(const ValueVector& values) const;
 
@@ -121,6 +146,8 @@ class Simulator {
   Rng gen_rng_;
   FleetSchedulePtr faults_;                  ///< loss + recovery channel
   std::unique_ptr<FaultInjector> injector_;  ///< value faults (standalone only)
+  std::unique_ptr<WindowedValueModel> window_model_;  ///< standalone only
+  const WindowedValueModel* window_view_ = nullptr;   ///< owned or engine-shared
   ValueVector scratch_values_;
   std::vector<ValueVector> history_;
   SigmaFn sigma_hook_;

@@ -1,0 +1,227 @@
+// Differential fuzz harness (ctest label: fuzz).
+//
+// Draws hundreds of random configurations — (seed, n, k, ε, W, protocol,
+// stream, fault preset) — and for each runs the full pipeline step by step,
+// checking after EVERY step against the brute-force oracle (the centralized
+// referee, free of protocol code):
+//
+//   * output validity: the protocol's F(t) satisfies the Sect. 2 contract on
+//     the values the fleet actually holds (windowed and faulted);
+//   * filter soundness: the filter set is valid (Obs. 2.2) and quiescent;
+//   * exactness: exact_topk's output IS the exact top-k set;
+//   * window differential: the windowed run's observed values equal the
+//     naive window maximum over a reference unwindowed run of the same
+//     (seed, stream, faults) — the monotonic-deque pipeline vs O(W)
+//     recomputation, end to end through Simulator and FaultInjector.
+//
+// Failures print a minimal `topk_sim` reproducer command line.
+//
+// The base seed rotates via TOPKMON_FUZZ_SEED (CI sets it per run on main
+// pushes and pins it on PRs); the tuple count via TOPKMON_FUZZ_CONFIGS.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faults/registry.hpp"
+#include "model/oracle.hpp"
+#include "model/window.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+
+struct FuzzConfig {
+  std::string protocol;
+  std::string stream;
+  std::string faults;
+  std::size_t n = 8;
+  std::size_t k = 2;
+  double epsilon = 0.1;
+  std::size_t window = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t fault_seed = 1;
+  TimeStep steps = 40;
+};
+
+/// Minimal topk_sim command line reproducing this configuration (the CLI's
+/// defaults — delta, sigma, walk parameters — match draw()'s choices). The
+/// full c.steps is kept — the fault schedule is generated over the run
+/// horizon, so truncating --steps would script a different fault trace —
+/// and strict mode aborts at the originally failing step anyway.
+std::string reproducer(const FuzzConfig& c) {
+  std::ostringstream oss;
+  oss << "topk_sim --protocol " << c.protocol << " --stream " << c.stream
+      << " --n " << c.n << " --k " << c.k << " --eps "
+      << (c.epsilon > 0.0 ? c.epsilon : 0.1) << " --protocol-eps " << c.epsilon
+      << " --window " << c.window << " --seed " << c.seed << " --steps "
+      << c.steps << " --strict";
+  if (c.faults != "none") {
+    oss << " --faults " << c.faults << " --fault-seed " << c.fault_seed;
+  }
+  return oss.str();
+}
+
+/// Uniform draw over the fuzz space. Adaptive adversarial streams are
+/// excluded: the reference (unwindowed) run would see a different stream
+/// because the adversary reacts to the windowed protocol's state, so the
+/// differential comparison is undefined for them.
+FuzzConfig draw(Rng& rng, std::uint64_t tuple_seed) {
+  static const std::vector<std::string> streams{"random_walk", "uniform",
+                                                "oscillating", "zipf_bursty",
+                                                "sine_noise"};
+  static const std::vector<std::string> fault_presets{"none", "churn",
+                                                      "stragglers", "lossy",
+                                                      "flaky"};
+  static const std::vector<std::size_t> windows{0, 1, 2, 3, 5, 8, 16, 64};
+
+  const std::vector<std::string> protocols = protocol_names();
+  FuzzConfig c;
+  c.protocol = protocols[rng.below(protocols.size())];
+  c.stream = streams[rng.below(streams.size())];
+  c.faults = fault_presets[rng.below(fault_presets.size())];
+  c.n = 4 + rng.below(21);  // 4..24
+  c.k = 1 + rng.below(std::min<std::size_t>(c.n - 1, 5));
+  c.epsilon = c.protocol == "exact_topk" ? 0.0 : 0.05 + 0.05 * rng.below(5);
+  c.window = windows[rng.below(windows.size())];
+  c.seed = tuple_seed;
+  c.fault_seed = splitmix_combine(tuple_seed, 0xFA);
+  c.steps = 20 + static_cast<TimeStep>(rng.below(41));  // 20..60
+  return c;
+}
+
+/// StreamSpec with exactly topk_sim's defaults, so the reproducer replays
+/// the identical stream.
+StreamSpec spec_for(const FuzzConfig& c) {
+  StreamSpec spec;
+  spec.kind = c.stream;
+  spec.n = c.n;
+  spec.k = c.k;
+  spec.epsilon = c.epsilon > 0.0 ? c.epsilon : 0.1;  // band ε for exact cells
+  spec.delta = 1 << 20;
+  spec.sigma = c.n / 2;
+  return spec;
+}
+
+FleetSchedulePtr schedule_for(const FuzzConfig& c) {
+  FaultConfig fcfg = fault_preset(c.faults);
+  fcfg.horizon = c.steps;
+  fcfg.seed = c.fault_seed;
+  return make_fleet_schedule(fcfg, c.n);
+}
+
+Simulator make_sim(const FuzzConfig& c, std::size_t window, bool record) {
+  SimConfig cfg;
+  cfg.k = c.k;
+  cfg.epsilon = c.epsilon;
+  cfg.seed = c.seed;
+  cfg.window = window;
+  cfg.record_history = record;
+  cfg.faults = schedule_for(c);
+  return Simulator(cfg, make_stream(spec_for(c)), make_protocol(c.protocol));
+}
+
+ValueVector observed_values(const Simulator& sim) {
+  ValueVector v;
+  v.reserve(sim.context().n());
+  for (const Node& node : sim.context().nodes()) {
+    v.push_back(node.value());
+  }
+  return v;
+}
+
+/// One fuzz tuple: returns false (with test failures recorded) on the first
+/// violated invariant so a single bad config doesn't spam hundreds of lines.
+bool run_config(const FuzzConfig& c) {
+  Simulator sim = make_sim(c, c.window, /*record=*/false);
+  // Reference fleet: same stream, same faults, no windowing. Its recorded
+  // history is the raw effective stream the window model must aggregate.
+  Simulator ref = make_sim(c, kInfiniteWindow, /*record=*/true);
+
+  for (TimeStep t = 0; t < c.steps; ++t) {
+    sim.step();
+    ref.step();
+
+    const ValueVector values = observed_values(sim);
+
+    // (1) Differential window check: deque pipeline vs naive recomputation.
+    if (c.window != kInfiniteWindow) {
+      const ValueVector expected = naive_window_max(
+          ref.history(), static_cast<std::size_t>(t), c.window);
+      if (values != expected) {
+        ADD_FAILURE() << "windowed values diverge from naive window max at t="
+                      << t << "\n  repro: " << reproducer(c);
+        return false;
+      }
+    } else if (values != ref.history().back()) {
+      ADD_FAILURE() << "unwindowed run diverges from its reference at t=" << t
+                    << "\n  repro: " << reproducer(c);
+      return false;
+    }
+
+    // (2) Output validity against the brute-force oracle.
+    const OutputSet& out = sim.protocol().output();
+    const std::string why = Oracle::explain_invalid(values, c.k, c.epsilon, out);
+    if (!why.empty()) {
+      ADD_FAILURE() << "invalid output at t=" << t << " [" << c.protocol
+                    << "]: " << why << "\n  repro: " << reproducer(c);
+      return false;
+    }
+
+    // (3) Exact protocols must report the exact top-k set.
+    if (c.epsilon == 0.0 && out != Oracle::top_k(values, c.k)) {
+      ADD_FAILURE() << "exact protocol missed the exact top-k at t=" << t
+                    << "\n  repro: " << reproducer(c);
+      return false;
+    }
+
+    // (4) Filter soundness: valid per Obs. 2.2 and quiescent.
+    std::vector<Filter> filters;
+    filters.reserve(sim.context().n());
+    for (const Node& node : sim.context().nodes()) {
+      filters.push_back(node.filter());
+    }
+    const std::span<const Filter> fspan(filters.data(), filters.size());
+    if (!filters_valid(fspan, out, c.epsilon) ||
+        !all_within(fspan, std::span<const Value>(values.data(), values.size()))) {
+      ADD_FAILURE() << "invalid/violated filter set at t=" << t
+                    << "\n  repro: " << reproducer(c);
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DifferentialFuzz, RandomConfigurationsUpholdTheOracleContract) {
+  const std::uint64_t base_seed = env_u64("TOPKMON_FUZZ_SEED", 20260730);
+  const std::uint64_t configs = env_u64("TOPKMON_FUZZ_CONFIGS", 240);
+  RecordProperty("fuzz_seed", static_cast<int>(base_seed));
+
+  Rng rng(splitmix_combine(base_seed, 0xD1FF));
+  std::size_t windowed = 0;
+  for (std::uint64_t i = 0; i < configs; ++i) {
+    const FuzzConfig c = draw(rng, splitmix_combine(base_seed, i));
+    windowed += c.window != kInfiniteWindow;
+    if (!run_config(c)) {
+      GTEST_FAIL() << "fuzz config " << i << " of " << configs
+                   << " failed (base seed " << base_seed << ")";
+    }
+  }
+  // The draw space must keep exercising both modes.
+  EXPECT_GT(windowed, configs / 4);
+  EXPECT_GT(configs - windowed, 0u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -1,0 +1,71 @@
+// Protocol registry (protocols/registry.hpp): sorted duplicate-free listing,
+// name-based construction, extension registration, and conflict detection.
+#include "protocols/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "protocols/naive.hpp"
+
+namespace topkmon {
+namespace {
+
+TEST(ProtocolRegistry, ListsBuiltinsSortedAndDeduped) {
+  const std::vector<std::string> names = protocol_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  for (const char* builtin : {"combined", "exact_topk", "half_error",
+                              "naive_central", "naive_change", "topk_protocol"}) {
+    EXPECT_TRUE(std::binary_search(names.begin(), names.end(), builtin)) << builtin;
+  }
+}
+
+TEST(ProtocolRegistry, MakesEveryListedProtocol) {
+  for (const std::string& name : protocol_names()) {
+    const auto protocol = make_protocol(name);
+    ASSERT_NE(protocol, nullptr) << name;
+    EXPECT_EQ(protocol->name(), name);
+  }
+}
+
+TEST(ProtocolRegistry, ThrowsOnUnknownName) {
+  EXPECT_THROW(make_protocol("no_such_protocol"), std::runtime_error);
+  EXPECT_THROW(make_protocol(""), std::runtime_error);
+}
+
+TEST(ProtocolRegistry, RegistersExtensionsIntoSortedListing) {
+  register_protocol("zz_registry_test_monitor",
+                    [] { return std::make_unique<NaiveCentralMonitor>(); });
+  const std::vector<std::string> names = protocol_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  EXPECT_TRUE(std::binary_search(names.begin(), names.end(),
+                                 std::string("zz_registry_test_monitor")));
+  EXPECT_NE(make_protocol("zz_registry_test_monitor"), nullptr);
+}
+
+TEST(ProtocolRegistry, RejectsConflictingReRegistration) {
+  register_protocol("aa_registry_conflict_probe",
+                    [] { return std::make_unique<NaiveCentralMonitor>(); });
+  // Same name again — regardless of the factory — is a conflict, not a
+  // silent shadow or a duplicate listing entry.
+  EXPECT_THROW(
+      register_protocol("aa_registry_conflict_probe",
+                        [] { return std::make_unique<NaiveChangeMonitor>(); }),
+      std::runtime_error);
+  const std::vector<std::string> names = protocol_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "aa_registry_conflict_probe"), 1);
+}
+
+TEST(ProtocolRegistry, RejectsBuiltinShadowingAndBadRegistrations) {
+  EXPECT_THROW(register_protocol("combined",
+                                 [] { return std::make_unique<NaiveCentralMonitor>(); }),
+               std::runtime_error);
+  EXPECT_THROW(register_protocol("", [] { return std::make_unique<NaiveCentralMonitor>(); }),
+               std::runtime_error);
+  EXPECT_THROW(register_protocol("null_factory_probe", nullptr), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace topkmon
