@@ -1,0 +1,103 @@
+// E13 — batched hot path: steps/s and allocations/step over the workload
+// grid n × {instantaneous, W=256} × {fault-free, churn}.
+//
+// This is the CI-gated twin of the bench_micro hot-path suite (same cells
+// via bench/hotpath_workload.hpp, emitted as a table + JSON so scripts/
+// check_bench.py can gate it against bench/bench_baseline.json):
+//
+//   * "query-steps/s" — throughput, tolerance-gated; the n=16k quiescent
+//     row is the tentpole target (≥3× over the pre-refactor engine);
+//   * "allocs/step"   — EXACT-gated; fault-free steady state must be 0 (the
+//     zero-allocation invariant), measured with the counting allocator hook
+//     (util/alloc_counter.hpp; build with -DTOPKMON_COUNT_ALLOCS=ON). The
+//     column reads "off" without the hook and "n/a" on churn rows, where
+//     deterministic recovery bursts allocate by design;
+//   * "messages"      — EXACT-gated protocol traffic (bit-reproducible).
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "hotpath_workload.hpp"
+#include "util/alloc_counter.hpp"
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+using bench::HotPathCell;
+
+namespace {
+
+constexpr TimeStep kWarmupSteps = 64;
+
+struct CellResult {
+  double steps_per_sec = 0.0;
+  std::uint64_t allocs = 0;  ///< over the measured (post-warmup) phase
+  std::uint64_t messages = 0;
+  TimeStep steps = 0;  ///< measured steps (args.steps × per-cell multiplier)
+};
+
+CellResult run_cell(const HotPathCell& cell, const BenchArgs& args) {
+  // Small fleets step in microseconds; scale their step count up so every
+  // cell's wall time is long enough for the ±tolerance throughput gate to
+  // measure code, not scheduler jitter (churn cells pay deterministic
+  // recovery bursts and need far fewer steps for the same wall time).
+  // Deterministic per cell, so the exact-gated counters stay comparable
+  // across runs.
+  const TimeStep mult = cell.n <= 64     ? (cell.churn ? 64 : 1024)
+                        : cell.n <= 1024 ? (cell.churn ? 8 : 128)
+                                         : (cell.churn ? 1 : 16);
+  const TimeStep steps = args.steps * mult;
+  auto run = bench::make_hotpath_run(cell, args.seed, kWarmupSteps + steps);
+  for (TimeStep t = 0; t < kWarmupSteps; ++t) {
+    run.sim->step_with(run.values);
+  }
+  CellResult res;
+  AllocProbe probe;
+  const auto start = std::chrono::steady_clock::now();
+  for (TimeStep t = 0; t < steps; ++t) {
+    run.sim->step_with(run.values);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  res.allocs = probe.delta();
+  res.steps = steps;
+  res.steps_per_sec = elapsed > 0.0 ? static_cast<double>(steps) / elapsed : 0.0;
+  res.messages = run.sim->result().messages;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  Table table("E13 — hot path: steps/s + allocs/step (combined, k=8, ε=0.1, " +
+              std::to_string(args.steps) + " steps, seed=" +
+              std::to_string(args.seed) + ")");
+  table.header({"n", "workload", "steps", "query-steps/s", "allocs/step", "messages"});
+
+  for (const HotPathCell& cell : bench::hotpath_grid()) {
+    const CellResult res = run_cell(cell, args);
+    std::string allocs_cell;
+    if (cell.churn) {
+      // Recovery bursts allocate by design; the count is an implementation
+      // detail of the standard library, not a gated invariant.
+      allocs_cell = "n/a";
+    } else if (!alloc_counting_active()) {
+      allocs_cell = "off";
+    } else {
+      allocs_cell = std::to_string(
+          res.allocs / static_cast<std::uint64_t>(std::max<TimeStep>(res.steps, 1)));
+      TOPKMON_ASSERT_MSG(res.allocs == 0,
+                         "zero-allocation invariant violated on a fault-free "
+                         "steady-state hot-path cell");
+    }
+    table.add_row({std::to_string(cell.n), bench::hotpath_workload_name(cell),
+                   std::to_string(res.steps),
+                   std::to_string(static_cast<std::uint64_t>(res.steps_per_sec)),
+                   allocs_cell, std::to_string(res.messages)});
+  }
+  bench::emit(table, args);
+  return 0;
+}

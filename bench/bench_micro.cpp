@@ -2,14 +2,22 @@
 // cost of the protocol primitives. These are engineering numbers (steps/s),
 // not paper claims; message counts are attached as counters so regressions
 // in *communication* are also visible here.
+//
+// The BM_HotPath* family measures the batched hot path on the shared grid
+// of bench/hotpath_workload.hpp — n ∈ {64, 1k, 16k} × {instantaneous,
+// W=256} × {fault-free, churn} — reporting steps/s (items_per_second) and
+// allocs/step (counting allocator hook; 0 when the hook is compiled out).
+// bench_e13_hotpath emits the same cells as a table/JSON for the CI gate.
 #include <benchmark/benchmark.h>
 
+#include "hotpath_workload.hpp"
 #include "offline/opt.hpp"
 #include "protocols/existence.hpp"
 #include "protocols/registry.hpp"
 #include "protocols/sampling.hpp"
 #include "sim/simulator.hpp"
 #include "streams/registry.hpp"
+#include "util/alloc_counter.hpp"
 
 namespace topkmon {
 namespace {
@@ -85,6 +93,43 @@ void BM_DenseChurnStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DenseChurnStep)->Arg(16)->Arg(64)->Arg(256);
+
+// The batched hot path over the shared workload grid. Quiescent stepping —
+// the common case the paper's protocols are designed to make free — must be
+// O(#changed) with zero steady-state allocations; churn variants show the
+// deterministic recovery cost on top. Args: n, W (0 = instantaneous),
+// churn (0/1).
+void BM_HotPathStep(benchmark::State& state) {
+  bench::HotPathCell cell;
+  cell.n = static_cast<std::size_t>(state.range(0));
+  cell.window = static_cast<std::size_t>(state.range(1));
+  cell.churn = state.range(2) != 0;
+  // Churn events are scripted over this horizon; steps beyond it simply see
+  // no further membership changes (the schedule answers online() fine).
+  auto run = bench::make_hotpath_run(cell, /*seed=*/42, /*horizon=*/1 << 20);
+  for (int i = 0; i < 64; ++i) {
+    run.sim->step_with(run.values);  // warm buffers past the start round
+  }
+  const std::uint64_t allocs_before = thread_alloc_count();
+  const std::uint64_t msgs_before = run.sim->result().messages;
+  for (auto _ : state) {
+    run.sim->step_with(run.values);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs/step"] = benchmark::Counter(
+      static_cast<double>(thread_alloc_count() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+  // Delta past the warmup phase, like allocs/step — the start-round burst
+  // must not smear into the steady-state per-step figure.
+  state.counters["msgs/step"] = benchmark::Counter(
+      static_cast<double>(run.sim->result().messages - msgs_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetLabel(bench::hotpath_workload_name(cell) +
+                 (alloc_counting_active() ? "" : " [alloc hook off]"));
+}
+BENCHMARK(BM_HotPathStep)
+    ->ArgsProduct({{64, 1024, 16384}, {0, 256}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_OfflineOptApprox(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,79 @@
+// Hot-path workload grid shared by bench_micro (google-benchmark counters)
+// and bench_e13_hotpath (the table/JSON twin gated by scripts/check_bench.py).
+//
+// Cells: n ∈ {64, 1k, 16k} × {instantaneous, W = 256} × {fault-free, churn}.
+// The value stream is *quiescent*: one random vector drawn per cell, fed to
+// step_with() every step. After the protocol's start round nothing violates,
+// so fault-free cells measure the pure per-step engine overhead — the cost
+// the incremental order / SoA refactor attacks — and the zero-allocation
+// invariant must hold exactly. Churn cells keep the same constant stream but
+// script membership toggles, so recovery rounds (and their allocations)
+// appear at deterministic steps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/registry.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon::bench {
+
+struct HotPathCell {
+  std::size_t n;
+  std::size_t window;  ///< kInfiniteWindow or 256
+  bool churn;
+};
+
+inline std::vector<HotPathCell> hotpath_grid() {
+  std::vector<HotPathCell> grid;
+  for (const std::size_t n : {std::size_t{64}, std::size_t{1024}, std::size_t{16384}}) {
+    for (const std::size_t w : {kInfiniteWindow, std::size_t{256}}) {
+      for (const bool churn : {false, true}) {
+        grid.push_back({n, w, churn});
+      }
+    }
+  }
+  return grid;
+}
+
+struct HotPathRun {
+  std::unique_ptr<Simulator> sim;
+  ValueVector values;  ///< the constant observation vector fed every step
+};
+
+/// Builds the cell's simulator (combined protocol, k = 8, ε = 0.1) with the
+/// fault schedule scripted over `horizon` steps.
+inline HotPathRun make_hotpath_run(const HotPathCell& cell, std::uint64_t seed,
+                                   TimeStep horizon) {
+  HotPathRun run;
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.epsilon = 0.1;
+  cfg.seed = seed;
+  cfg.window = cell.window;
+  if (cell.churn) {
+    FaultConfig fcfg = fault_preset("churn");
+    fcfg.horizon = horizon;
+    fcfg.seed = splitmix_combine(seed, 0xC0);
+    cfg.faults = make_fleet_schedule(fcfg, cell.n);
+  }
+  run.sim = std::make_unique<Simulator>(cfg, cell.n, make_protocol("combined"));
+  run.values.resize(cell.n);
+  Rng rng(splitmix_combine(seed, cell.n));
+  for (auto& v : run.values) {
+    v = 1'000'000 + rng.below(1'000'000);
+  }
+  return run;
+}
+
+inline std::string hotpath_workload_name(const HotPathCell& cell) {
+  std::string name = cell.window == kInfiniteWindow ? "instant" : "W=256";
+  name += cell.churn ? "/churn" : "/quiet";
+  return name;
+}
+
+}  // namespace topkmon::bench

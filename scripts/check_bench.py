@@ -5,8 +5,13 @@ Usage:
   check_bench.py --current bench_e10.json [--current bench_e12.json ...]
                  --baseline bench/bench_baseline.json
                  [--tolerance 0.2] [--metric "query-steps/s"]
+                 [--emit-summary]
   check_bench.py --current bench_e10.json [--current ...]
                  --write-baseline bench/bench_baseline.json
+
+--emit-summary appends a markdown current-vs-baseline table (with Δ%) to
+$GITHUB_STEP_SUMMARY — or stdout when unset — so PR reviewers see throughput
+deltas without reading job logs.
 
 --current may repeat; the files' tables are concatenated (one baseline can
 gate several benches). Rows are matched across files by their key columns
@@ -37,8 +42,12 @@ import json
 import sys
 
 # Columns whose values are deterministic counters: exact match required.
+# "allocs/step" is the zero-allocation invariant of the hot-path bench
+# (bench_e13_hotpath): fault-free steady-state rows must stay exactly 0
+# ("n/a" on churn rows, "off" when the counting hook is compiled out — gate
+# and baseline must agree on the build flavor, see .github/workflows).
 EXACT_COLUMNS = {"messages", "serial messages", "shared probe msgs", "identical",
-                 "expirations", "opt phases"}
+                 "expirations", "opt phases", "allocs/step"}
 # Columns that are wall-clock measurements or derived ratios: never compared
 # directly (the throughput metric below is the one gated, with tolerance).
 NOISY_COLUMNS = {"engine ms", "serial ms", "speedup", "ns/step", "query-steps/s",
@@ -79,6 +88,53 @@ def merge(docs: list[dict]) -> dict:
     return out
 
 
+def emit_summary(current: dict, base_rows: dict, metric: str,
+                 failures: list[str]) -> None:
+    """Appends a markdown perf report to $GITHUB_STEP_SUMMARY (stdout when the
+    variable is unset, e.g. local runs) so PR reviewers see throughput deltas
+    without reading job logs."""
+    import os
+
+    lines = ["## Bench results", ""]
+    for table in current.get("tables", []):
+        title = table.get("title", "")
+        rows = table.get("rows", [])
+        if not rows:
+            continue
+        lines.append(f"### {title}")
+        lines.append("")
+        header = list(rows[0].keys())
+        cols = [c for c in header if c != metric]
+        lines.append("| " + " | ".join(cols + [metric, "baseline", "Δ"]) + " |")
+        lines.append("|" + "---|" * (len(cols) + 3))
+        for row in rows:
+            base = base_rows.get((title, row_key(row, metric)))
+            cur_v = row.get(metric)
+            base_v = base.get(metric) if base else None
+            delta = ""
+            if cur_v is not None and base_v is not None:
+                try:
+                    delta = f"{(float(cur_v) / float(base_v) - 1.0):+.1%}"
+                except (ValueError, ZeroDivisionError):
+                    delta = "—"
+            cells = [str(row.get(c, "")) for c in cols]
+            cells += [str(cur_v) if cur_v is not None else "—",
+                      str(base_v) if base_v is not None else "—", delta]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    if failures:
+        lines.append(f"**{len(failures)} gate failure(s):**")
+        lines.extend(f"- {f}" for f in failures)
+        lines.append("")
+    text = "\n".join(lines) + "\n"
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if path:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        print(text, end="")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", required=True, action="append",
@@ -90,6 +146,9 @@ def main() -> int:
                     help="allowed fractional throughput regression (default 0.2)")
     ap.add_argument("--metric", default="query-steps/s",
                     help="throughput column gated with tolerance")
+    ap.add_argument("--emit-summary", action="store_true",
+                    help="append a markdown perf table to $GITHUB_STEP_SUMMARY "
+                         "(stdout when unset)")
     args = ap.parse_args()
 
     current = merge([load(path) for path in args.current])
@@ -152,6 +211,8 @@ def main() -> int:
 
     for title in sorted(skipped_titles):
         print(f"check_bench: note: baseline table not in this run, skipped: {title}")
+    if args.emit_summary:
+        emit_summary(current, base_rows, args.metric, failures)
     if failures:
         print(f"check_bench: FAIL — {len(failures)} issue(s) over {checked} checks:")
         for f in failures:

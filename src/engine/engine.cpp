@@ -15,10 +15,10 @@ MonitoringEngine::MonitoringEngine(EngineConfig cfg,
       gen_(std::move(gen)),
       // Same derivation as Simulator's generator stream, so a Q = 1 engine
       // seeded like a Simulator replays the identical stream.
-      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)) {
+      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)),
+      fleet_(gen_ && gen_->n() > 0 ? gen_->n() : 1) {
   TOPKMON_ASSERT(gen_ != nullptr);
   TOPKMON_ASSERT(gen_->n() > 0);
-  snapshot_.resize(gen_->n());
   if (cfg_.faults) {
     TOPKMON_ASSERT_MSG(cfg_.faults->n() == gen_->n(),
                        "fault schedule sized for wrong fleet");
@@ -123,22 +123,24 @@ void MonitoringEngine::ensure_started() {
 void MonitoringEngine::step() {
   ensure_started();
 
-  // (1) One snapshot per step, shared by all queries. The adaptive-adversary
-  // view is query 0's state (see header).
+  // (1) One snapshot per step, shared by all queries, written in place into
+  // the fleet's staging buffer. The adaptive-adversary view is query 0's
+  // state (see header).
   if (next_t_ == 0) {
-    gen_->init(snapshot_, gen_rng_);
+    gen_->init(fleet_.staging(), gen_rng_);
   } else {
     const Simulator& ref = query_sim(0);
     const AdversaryView view{ref.context().nodes(), &ref.protocol().output(),
                              ref.config().k, ref.config().epsilon};
-    gen_->step(next_t_, view, snapshot_, gen_rng_);
+    gen_->step(next_t_, view, fleet_.staging(), gen_rng_);
   }
 
-  // (2) Fault injection on the shared snapshot path: snapshot_ keeps the
+  // (2) Fault injection on the shared snapshot path: staging keeps the
   // true stream (the generator evolves undisturbed); the fleet — and every
   // query — observes the effective vector.
-  const ValueVector& eff =
-      injector_ ? injector_->transform(next_t_, snapshot_) : snapshot_;
+  const ValueVector& eff = injector_
+                               ? injector_->transform(next_t_, fleet_.staging(), fleet_)
+                               : fleet_.staging();
 
   // (3) Arm the per-step caches — the snapshot advances every windowed view
   // exactly once, and each probe channel points at its window's vector —

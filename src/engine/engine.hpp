@@ -40,6 +40,7 @@
 #include "engine/stats.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "model/fleet_state.hpp"
 #include "sim/stream.hpp"
 #include "util/thread_pool.hpp"
 
@@ -129,7 +130,9 @@ class MonitoringEngine {
   std::vector<std::pair<std::size_t, std::size_t>> locate_;
 
   std::unique_ptr<ThreadPool> pool_;  ///< null = run shards inline
-  ValueVector snapshot_;
+  /// SoA step state: the generator writes the true vector into staging(),
+  /// the injector rewrites it into effective() + fault flags, in place.
+  FleetState fleet_;
   std::vector<ValueVector> history_;
   TimeStep next_t_ = 0;
   double elapsed_sec_ = 0.0;

@@ -13,8 +13,15 @@ void EngineShard::add(QueryHandle handle, std::size_t window,
 }
 
 void EngineShard::step(const StepSnapshot& snapshot) {
+  if (views_.size() != sims_.size()) {
+    // First step: resolve each query's window to its stable view pointer.
+    views_.resize(sims_.size());
+    for (std::size_t i = 0; i < sims_.size(); ++i) {
+      views_[i] = snapshot.view(windows_[i]);
+    }
+  }
   for (std::size_t i = 0; i < sims_.size(); ++i) {
-    sims_[i]->step_with(snapshot.values(windows_[i]));
+    sims_[i]->step_with(views_[i]->current());
   }
 }
 

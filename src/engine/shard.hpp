@@ -3,12 +3,13 @@
 // A shard owns the Simulators (and through them the SimContexts) of the
 // queries assigned to it and advances them sequentially within a time step;
 // different shards run concurrently on the thread pool. Each query carries
-// the window length of its view, so a shard can serve mixed-window queries:
-// per step it hands every simulator the shared snapshot's vector for that
-// query's W. Because every query carries its own derived RNG streams and
-// the only cross-shard touchpoints (SharedProbe, StepSnapshot sigma cache)
-// are schedule-independent, results do not depend on the shard partition or
-// thread count.
+// the window length of its view; on the first step the shard resolves each
+// query's view to a stable StepSnapshot::View pointer, so the per-step inner
+// loop hands every simulator its view's current vector with zero lookups or
+// vector construction. Because every query carries its own derived RNG
+// streams and the only cross-shard touchpoints (SharedProbe, StepSnapshot
+// sigma cache) are schedule-independent, results do not depend on the shard
+// partition or thread count.
 #pragma once
 
 #include <memory>
@@ -37,6 +38,8 @@ class EngineShard {
   std::vector<QueryHandle> handles_;
   std::vector<std::size_t> windows_;  ///< per query, parallel to sims_
   std::vector<std::unique_ptr<Simulator>> sims_;
+  /// Per query: its window's snapshot view, resolved once on the first step.
+  std::vector<const StepSnapshot::View*> views_;
 };
 
 }  // namespace topkmon

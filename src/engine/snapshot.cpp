@@ -1,45 +1,51 @@
 #include "engine/snapshot.hpp"
 
-#include <algorithm>
-#include <functional>
-
-#include "model/oracle.hpp"
 #include "util/assert.hpp"
 
 namespace topkmon {
 
 StepSnapshot::StepSnapshot() {
-  views_.emplace_back();  // the unwindowed view
+  views_.push_back(std::make_unique<View>(kInfiniteWindow));
 }
 
 void StepSnapshot::add_window(std::size_t window, std::size_t n) {
   if (window == kInfiniteWindow) return;
   TOPKMON_ASSERT_MSG(!started_, "windows must register before the first step");
-  for (const View& v : views_) {
-    if (v.window == window) return;
+  for (const auto& v : views_) {
+    if (v->window == window) return;
   }
-  View v;
-  v.window = window;
-  v.model = std::make_unique<WindowedValueModel>(n, window);
+  auto v = std::make_unique<View>(window);
+  v->fleet = std::make_unique<FleetState>(n, window);
   views_.push_back(std::move(v));
 }
 
 void StepSnapshot::begin_step(TimeStep t, const ValueVector& values) {
-  started_ = true;
-  for (View& v : views_) {
-    v.values = v.model ? &v.model->push(t, values) : &values;
-    v.sorted_desc.assign(v.values->begin(), v.values->end());
-    std::sort(v.sorted_desc.begin(), v.sorted_desc.end(), std::greater<Value>());
-    v.sigma_cache.clear();
+  if (!started_) {
+    started_ = true;
+    n_ = values.size();
+    for (auto& v : views_) {
+      if (!v->fleet) {
+        v->fleet = std::make_unique<FleetState>(n_, kInfiniteWindow);
+      }
+      v->order = &v->fleet->value_order();
+    }
+  }
+  for (auto& v : views_) {
+    WindowedValueModel* wm = v->fleet->window();
+    v->values = wm ? &wm->push(t, values) : &values;
+    // Incremental repair replaces the former per-step assign + full sort;
+    // quiescent steps cost one diff pass per distinct window.
+    v->order->update(*v->values);
+    v->sigma_cache.clear();
   }
 }
 
 StepSnapshot::View& StepSnapshot::view_for(std::size_t window) {
-  for (View& v : views_) {
-    if (v.window == window) return v;
+  for (auto& v : views_) {
+    if (v->window == window) return *v;
   }
   TOPKMON_ASSERT_MSG(false, "window length was never registered");
-  return views_.front();  // unreachable
+  return *views_.front();  // unreachable
 }
 
 const StepSnapshot::View& StepSnapshot::view_for(std::size_t window) const {
@@ -52,26 +58,33 @@ const ValueVector& StepSnapshot::values(std::size_t window) const {
   return *v.values;
 }
 
+const StepSnapshot::View* StepSnapshot::view(std::size_t window) const {
+  return &view_for(window);
+}
+
 const WindowedValueModel* StepSnapshot::model(std::size_t window) const {
-  return view_for(window).model.get();
+  const View& v = view_for(window);
+  return v.fleet ? v.fleet->window() : nullptr;
 }
 
 std::size_t StepSnapshot::sigma(std::size_t window, std::size_t k, double epsilon) {
   View& v = view_for(window);
-  TOPKMON_ASSERT(v.values != nullptr);
+  TOPKMON_ASSERT(v.order != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : v.sigma_cache) {
     if (e.k == k && e.epsilon == epsilon) return e.sigma;
   }
-  const std::size_t s = Oracle::sigma_sorted(v.sorted_desc, k, epsilon);
+  const std::size_t s = v.order->sigma(k, epsilon);
   v.sigma_cache.push_back({k, epsilon, s});
   return s;
 }
 
 std::uint64_t StepSnapshot::window_expirations() const {
   std::uint64_t total = 0;
-  for (const View& v : views_) {
-    if (v.model) total += v.model->total_expirations();
+  for (const auto& v : views_) {
+    if (v->fleet && v->fleet->window()) {
+      total += v->fleet->window()->total_expirations();
+    }
   }
   return total;
 }

@@ -3,14 +3,16 @@
 // Every query of an engine observes the same observation vector, so
 // value-only derived quantities are computed once per step and shared. With
 // sliding-window queries (src/model/window.hpp) the snapshot carries one
-// *view* per distinct window length W registered before the first step: the
-// windowed value vector (per-node window maxima, maintained once per step —
-// not once per query), its descending sort, and σ(t) per distinct (k, ε) —
-// the validator-side quantity every query's Simulator tracks, which
-// standalone costs an O(n log n) sort + allocations per query per step. The
+// *view* per distinct window length W registered before the first step. A
+// view owns a FleetState: the per-node window maxima rings (maintained once
+// per step — not once per query), the incremental TopKOrder that replaces
+// the former per-step descending sort, and σ(t) per distinct (k, ε) — the
+// validator-side quantity every query's Simulator tracks, which standalone
+// costs an O(n log n) sort + allocations per query per step. The
 // W = kInfiniteWindow view borrows the raw snapshot untouched. All cached
 // quantities are pure functions of the snapshot (no randomness), so sharing
-// is exact and schedule-independent.
+// is exact and schedule-independent. Steady-state begin_step allocates
+// nothing: view buffers are preallocated and the order repairs in place.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "model/fleet_state.hpp"
 #include "model/types.hpp"
 #include "model/window.hpp"
 
@@ -25,6 +28,27 @@ namespace topkmon {
 
 class StepSnapshot {
  public:
+  /// One per-window view; stable address once the snapshot started (shards
+  /// cache pointers to their queries' views).
+  struct View {
+    explicit View(std::size_t window) : window(window) {}
+
+    /// The step's value vector as queries of this window observe it.
+    const ValueVector& current() const { return *values; }
+
+    std::size_t window = kInfiniteWindow;
+    std::unique_ptr<FleetState> fleet;  ///< null for kInfiniteWindow
+    const ValueVector* values = nullptr;
+
+    struct SigmaEntry {
+      std::size_t k;
+      double epsilon;
+      std::size_t sigma;
+    };
+    std::vector<SigmaEntry> sigma_cache;  ///< few distinct (k, ε); linear scan
+    SortedValues* order = nullptr;        ///< set once n is known (first step)
+  };
+
   StepSnapshot();
 
   /// Registers a window length (idempotent); must happen before the first
@@ -32,13 +56,18 @@ class StepSnapshot {
   void add_window(std::size_t window, std::size_t n);
 
   /// Points the snapshot at the step's observation vector (borrowed; must
-  /// outlive the step), advances every windowed view by one step, and
-  /// invalidates the caches. Called serially by the engine before shards
-  /// run, once per step with consecutive t starting at 0.
+  /// outlive the step), advances every windowed view by one step, repairs
+  /// each view's incremental order, and invalidates the σ caches. Called
+  /// serially by the engine before shards run, once per step with
+  /// consecutive t starting at 0.
   void begin_step(TimeStep t, const ValueVector& values);
 
   /// The step's value vector as queries with window `window` observe it.
   const ValueVector& values(std::size_t window = kInfiniteWindow) const;
+
+  /// Stable handle to a window's view — shards resolve it once and then
+  /// read `view->current()` per step without the per-query window lookup.
+  const View* view(std::size_t window) const;
 
   /// The window model behind a view; null for kInfiniteWindow. Stable across
   /// steps — per-query simulators hold it as their window channel.
@@ -52,24 +81,11 @@ class StepSnapshot {
   std::uint64_t window_expirations() const;
 
  private:
-  struct View {
-    std::size_t window = kInfiniteWindow;
-    std::unique_ptr<WindowedValueModel> model;  ///< null for kInfiniteWindow
-    const ValueVector* values = nullptr;
-    ValueVector sorted_desc;
-
-    struct SigmaEntry {
-      std::size_t k;
-      double epsilon;
-      std::size_t sigma;
-    };
-    std::vector<SigmaEntry> sigma_cache;  ///< few distinct (k, ε); linear scan
-  };
-
   View& view_for(std::size_t window);
   const View& view_for(std::size_t window) const;
 
-  std::vector<View> views_;  ///< views_[0] is always the unwindowed view
+  std::vector<std::unique_ptr<View>> views_;  ///< [0] is the unwindowed view
+  std::size_t n_ = 0;  ///< fleet size (fixed by the first begin_step)
   bool started_ = false;
   std::mutex mu_;  ///< guards the sigma caches (shards query concurrently)
 };

@@ -1,5 +1,7 @@
 #include "faults/injector.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace topkmon {
@@ -7,43 +9,69 @@ namespace topkmon {
 FaultInjector::FaultInjector(FleetSchedulePtr schedule)
     : schedule_(std::move(schedule)) {
   TOPKMON_ASSERT(schedule_ != nullptr);
-  effective_.resize(schedule_->n());
+  if (schedule_->max_delay() > 0) {
+    ring_.assign(schedule_->max_delay() + 1, ValueVector(schedule_->n(), 0));
+  }
 }
 
 const ValueVector& FaultInjector::transform(TimeStep t, const ValueVector& truth) {
-  TOPKMON_ASSERT(truth.size() == schedule_->n());
+  if (!own_fleet_) {
+    own_fleet_ = std::make_unique<FleetState>(schedule_->n());
+  }
+  return transform(t, truth, *own_fleet_);
+}
+
+const ValueVector& FaultInjector::transform(TimeStep t, const ValueVector& truth,
+                                            FleetState& fleet) {
+  const std::size_t n = schedule_->n();
+  TOPKMON_ASSERT(truth.size() == n);
+  TOPKMON_ASSERT(fleet.n() == n);
   TOPKMON_ASSERT_MSG(t == next_t_, "injector must see consecutive steps");
   ++next_t_;
 
-  ring_.push_back(truth);
-  if (ring_.size() > schedule_->max_delay() + 1) {
-    ring_.pop_front();
+  ValueVector& effective = fleet.effective();
+  const std::span<std::uint8_t> flags = fleet.fault_flags();
+
+  // The ring was sized from max_delay() at construction; mutating the shared
+  // schedule's delays afterwards would make the lookback read (or divide by)
+  // the wrong slot count — fail loudly instead.
+  TOPKMON_ASSERT_MSG(
+      schedule_->max_delay() + 1 <= std::max<std::size_t>(ring_.size(), 1),
+      "fault schedule delays changed after the injector was constructed");
+
+  // Retain the true vector for straggler lookback (in place: slot t mod D+1).
+  if (!ring_.empty()) {
+    std::copy(truth.begin(), truth.end(),
+              ring_[static_cast<std::size_t>(t) % ring_.size()].begin());
   }
 
   last_stale_ = 0;
   if (t == 0) {
-    effective_ = truth;
-    return effective_;
+    std::copy(truth.begin(), truth.end(), effective.begin());
+    std::fill(flags.begin(), flags.end(), std::uint8_t{kFaultNone});
+    return effective;
   }
-  for (NodeId i = 0; i < truth.size(); ++i) {
+  for (NodeId i = 0; i < n; ++i) {
     if (!schedule_->online(i, t)) {
       // Offline: observation frozen at the previous effective value.
+      flags[i] = kFaultOffline | kFaultStale;
       ++last_stale_;
       continue;
     }
     const std::size_t d = schedule_->delay(i);
     if (d == 0) {
-      effective_[i] = truth[i];
+      effective[i] = truth[i];
+      flags[i] = kFaultNone;
     } else {
-      // ring_.back() holds step t; the vector for step t−d (clamped to the
-      // ring's oldest entry, which covers max(0, t−d)) sits d slots earlier.
-      const std::size_t back = std::min<std::size_t>(d, ring_.size() - 1);
-      effective_[i] = ring_[ring_.size() - 1 - back][i];
+      // The ring covers steps (t − max_delay) .. t; clamp to step 0 early on.
+      const std::size_t back = std::min<std::size_t>(d, static_cast<std::size_t>(t));
+      effective[i] = ring_[(static_cast<std::size_t>(t) - back) % ring_.size()][i];
+      flags[i] = kFaultStale;
       ++last_stale_;
     }
   }
   total_stale_ += last_stale_;
-  return effective_;
+  return effective;
 }
 
 }  // namespace topkmon

@@ -7,7 +7,7 @@
 //   * an offline node's observation freezes at the last effective value it
 //     held (its stream stops until it rejoins);
 //   * a straggler with delay d holds the true value of step max(0, t−d)
-//     (a ring buffer retains the last max_delay+1 true vectors);
+//     (a ring of the last max_delay+1 true vectors is retained);
 //   * at t = 0 every node holds the true initial value, so degradation only
 //     begins once the fleet is running.
 //
@@ -16,16 +16,23 @@
 // holds with respect to what the nodes really observed. Each observation
 // served from the past (offline freeze or positive delay at t ≥ 1) counts as
 // one *stale read* — the fault-awareness metric surfaced through
-// CommStats/RunResult/EngineStats.
+// CommStats/RunResult/EngineStats — and sets the node's FaultFlag bits in
+// the target FleetState's contiguous flag buffer.
+//
+// Hot-path storage: the ring is a fixed array of max_delay+1 preallocated
+// vectors written in place (slot = t mod (max_delay+1)), the effective
+// vector lives in the caller's FleetState, and schedules without stragglers
+// skip retention entirely — a transform() in steady state allocates nothing.
 //
 // The injector is deterministic and RNG-free: with an all-zero schedule,
 // transform() is the identity and the fault-free path is reproduced
 // bit-identically.
 #pragma once
 
-#include <deque>
+#include <vector>
 
 #include "faults/schedule.hpp"
+#include "model/fleet_state.hpp"
 #include "model/types.hpp"
 
 namespace topkmon {
@@ -34,9 +41,15 @@ class FaultInjector {
  public:
   explicit FaultInjector(FleetSchedulePtr schedule);
 
-  /// Rewrites the step-t true vector into the effective vector (returned
-  /// reference is owned by the injector and valid until the next call).
-  /// Must be called once per step with consecutive t starting at 0.
+  /// Rewrites the step-t true vector into the effective vector, written in
+  /// place into `fleet.effective()` (the returned reference); per-node
+  /// FaultFlag bits land in `fleet.fault_flags()`. Must be called once per
+  /// step with consecutive t starting at 0, always with the same fleet.
+  const ValueVector& transform(TimeStep t, const ValueVector& truth,
+                               FleetState& fleet);
+
+  /// Convenience for tests and tools without an external FleetState:
+  /// transforms into an internally owned fleet (created on first use).
   const ValueVector& transform(TimeStep t, const ValueVector& truth);
 
   /// Stale reads produced by the most recent transform() call.
@@ -49,8 +62,9 @@ class FaultInjector {
 
  private:
   FleetSchedulePtr schedule_;
-  std::deque<ValueVector> ring_;  ///< true vectors of the last max_delay+1 steps
-  ValueVector effective_;
+  std::vector<ValueVector> ring_;  ///< max_delay+1 preallocated slots (empty
+                                   ///< when the schedule has no stragglers)
+  std::unique_ptr<FleetState> own_fleet_;  ///< 2-arg transform() target only
   TimeStep next_t_ = 0;
   std::uint64_t last_stale_ = 0;
   std::uint64_t total_stale_ = 0;

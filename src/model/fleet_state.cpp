@@ -1,0 +1,28 @@
+#include "model/fleet_state.hpp"
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+FleetState::FleetState(std::size_t n, std::size_t window) : n_(n) {
+  TOPKMON_ASSERT(n > 0);
+  if (window != kInfiniteWindow) {
+    window_ = std::make_unique<WindowedValueModel>(n, window);
+  }
+}
+
+TopKOrder& FleetState::order() {
+  if (!order_) {
+    order_ = std::make_unique<TopKOrder>(n());
+  }
+  return *order_;
+}
+
+SortedValues& FleetState::value_order() {
+  if (!value_order_) {
+    value_order_ = std::make_unique<SortedValues>(n());
+  }
+  return *value_order_;
+}
+
+}  // namespace topkmon

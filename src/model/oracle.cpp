@@ -54,15 +54,18 @@ std::size_t Oracle::sigma_sorted(std::span<const Value> sorted_desc, std::size_t
                                  double epsilon) {
   TOPKMON_ASSERT(k >= 1 && k <= sorted_desc.size());
   const Value vk = sorted_desc[k - 1];
-  std::size_t count = 0;
-  for (const Value v : sorted_desc) {
-    if (in_neighborhood(v, vk, epsilon)) {
-      ++count;
-    } else if (v < vk) {
-      break;  // sorted: everything further is below the band too
-    }
-  }
-  return count;
+  // K(t) membership (in_neighborhood) is a conjunction of two predicates,
+  // each monotone along the descending order: "not clearly smaller" holds on
+  // a prefix, "clearly larger" on a (possibly empty) head of that prefix.
+  // The neighborhood is exactly the band between the two partition points,
+  // and the ε-helpers keep every double comparison identical to sigma().
+  const auto first_clearly_smaller =
+      std::partition_point(sorted_desc.begin(), sorted_desc.end(),
+                           [&](Value v) { return !clearly_smaller(v, vk, epsilon); });
+  const auto first_not_clearly_larger =
+      std::partition_point(sorted_desc.begin(), sorted_desc.end(),
+                           [&](Value v) { return clearly_larger(v, vk, epsilon); });
+  return static_cast<std::size_t>(first_clearly_smaller - first_not_clearly_larger);
 }
 
 bool Oracle::output_valid(std::span<const Value> values, std::size_t k, double epsilon,

@@ -1,0 +1,171 @@
+#include "model/topk_order.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "model/oracle.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+SortedValues::SortedValues(std::size_t n) : shadow_(n, 0), sorted_desc_(n, 0) {
+  TOPKMON_ASSERT(n > 0);
+}
+
+void SortedValues::splice(Value old_value, Value new_value) {
+  if (old_value == new_value) return;
+  // First slot holding a value <= old_value: an occurrence of old_value.
+  const auto rm = std::lower_bound(sorted_desc_.begin(), sorted_desc_.end(),
+                                   old_value, std::greater<Value>());
+  if (new_value < old_value) {
+    // New value moves toward the tail: first slot (beyond rm) <= new_value.
+    const auto ins = std::lower_bound(rm + 1, sorted_desc_.end(), new_value,
+                                      std::greater<Value>());
+    std::move(rm + 1, ins, rm);  // close the gap leftward
+    *(ins - 1) = new_value;
+  } else {
+    // New value moves toward the head.
+    const auto ins = std::lower_bound(sorted_desc_.begin(), rm, new_value,
+                                      std::greater<Value>());
+    std::move_backward(ins, rm, rm + 1);  // open a gap rightward
+    *ins = new_value;
+  }
+}
+
+void SortedValues::update(std::span<const Value> values) {
+  const std::size_t n = shadow_.size();
+  TOPKMON_ASSERT_MSG(values.size() == n, "observation vector sized for wrong fleet");
+  std::size_t changed = 0;
+  if (ready_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      changed += shadow_[i] != values[i];
+    }
+    if (changed == 0) return;
+  }
+  if (!ready_ ||
+      static_cast<double>(changed) > kRebuildFraction * static_cast<double>(n)) {
+    std::copy(values.begin(), values.end(), shadow_.begin());
+    std::copy(values.begin(), values.end(), sorted_desc_.begin());
+    std::sort(sorted_desc_.begin(), sorted_desc_.end(), std::greater<Value>());
+    ready_ = true;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shadow_[i] != values[i]) {
+      splice(shadow_[i], values[i]);
+      shadow_[i] = values[i];
+    }
+  }
+}
+
+Value SortedValues::kth_value(std::size_t k) const {
+  TOPKMON_ASSERT(ready_ && k >= 1 && k <= sorted_desc_.size());
+  return sorted_desc_[k - 1];
+}
+
+std::size_t SortedValues::sigma(std::size_t k, double epsilon) const {
+  TOPKMON_ASSERT(ready_);
+  return Oracle::sigma_sorted(sorted(), k, epsilon);
+}
+
+TopKOrder::TopKOrder(std::size_t n)
+    : shadow_(n, 0), values_desc_(n, 0), ids_desc_(n, 0), pos_(n, 0) {
+  TOPKMON_ASSERT(n > 0);
+}
+
+void TopKOrder::rebuild() {
+  const std::size_t n = shadow_.size();
+  for (NodeId i = 0; i < n; ++i) {
+    ids_desc_[i] = i;
+  }
+  std::sort(ids_desc_.begin(), ids_desc_.end(), [this](NodeId a, NodeId b) {
+    return ranks_above(shadow_[a], a, shadow_[b], b);
+  });
+  for (std::size_t r = 0; r < n; ++r) {
+    const NodeId id = ids_desc_[r];
+    values_desc_[r] = shadow_[id];
+    pos_[id] = static_cast<std::uint32_t>(r);
+  }
+  ++rebuilds_;
+}
+
+void TopKOrder::repair(NodeId id, Value v) {
+  std::size_t p = pos_[id];
+  const std::size_t n = values_desc_.size();
+  // Shift neighbors over the hole until (v, id) slots into rank order.
+  while (p > 0 && ranks_above(v, id, values_desc_[p - 1], ids_desc_[p - 1])) {
+    values_desc_[p] = values_desc_[p - 1];
+    ids_desc_[p] = ids_desc_[p - 1];
+    pos_[ids_desc_[p]] = static_cast<std::uint32_t>(p);
+    --p;
+  }
+  while (p + 1 < n && ranks_above(values_desc_[p + 1], ids_desc_[p + 1], v, id)) {
+    values_desc_[p] = values_desc_[p + 1];
+    ids_desc_[p] = ids_desc_[p + 1];
+    pos_[ids_desc_[p]] = static_cast<std::uint32_t>(p);
+    ++p;
+  }
+  values_desc_[p] = v;
+  ids_desc_[p] = id;
+  pos_[id] = static_cast<std::uint32_t>(p);
+  ++repairs_;
+}
+
+void TopKOrder::update(std::span<const Value> values) {
+  const std::size_t n = shadow_.size();
+  TOPKMON_ASSERT_MSG(values.size() == n, "observation vector sized for wrong fleet");
+  if (!ready_) {
+    std::copy(values.begin(), values.end(), shadow_.begin());
+    rebuild();
+    ready_ = true;
+    return;
+  }
+  // Pass 1: count the dirty set. One predictable compare per node; on a
+  // quiescent step this is the whole cost of order maintenance.
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    changed += shadow_[i] != values[i];
+  }
+  if (changed == 0) {
+    return;
+  }
+  if (static_cast<double>(changed) > kRebuildFraction * static_cast<double>(n)) {
+    std::copy(values.begin(), values.end(), shadow_.begin());
+    rebuild();
+    return;
+  }
+  // Pass 2: repair each dirty node. The array stays totally ordered w.r.t.
+  // its current (partially updated) contents after every repair, so the
+  // final state is the unique rank order of the new vector.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shadow_[i] != values[i]) {
+      shadow_[i] = values[i];
+      repair(static_cast<NodeId>(i), values[i]);
+    }
+  }
+}
+
+void TopKOrder::update_node(NodeId i, Value v) {
+  TOPKMON_ASSERT(ready_);
+  TOPKMON_ASSERT(i < shadow_.size());
+  if (shadow_[i] == v) return;
+  shadow_[i] = v;
+  repair(i, v);
+}
+
+Value TopKOrder::kth_value(std::size_t k) const {
+  TOPKMON_ASSERT(ready_ && k >= 1 && k <= values_desc_.size());
+  return values_desc_[k - 1];
+}
+
+NodeId TopKOrder::kth_node(std::size_t k) const {
+  TOPKMON_ASSERT(ready_ && k >= 1 && k <= ids_desc_.size());
+  return ids_desc_[k - 1];
+}
+
+std::size_t TopKOrder::sigma(std::size_t k, double epsilon) const {
+  TOPKMON_ASSERT(ready_);
+  return Oracle::sigma_sorted(sorted_values(), k, epsilon);
+}
+
+}  // namespace topkmon

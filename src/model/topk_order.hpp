@@ -1,0 +1,142 @@
+// TopKOrder — incremental order maintenance for the batched hot path.
+//
+// The per-step quantities the simulator and the engine's shared snapshot
+// need — the k-th largest value v_π(k,t), the neighborhood size σ(t), the
+// full rank order for probes — used to be recomputed from scratch every
+// step: allocate an index vector, sort O(n log n), scan. The protocols'
+// whole point (Mäcker et al., IPDPS 2016) is that quiescent steps do no
+// *communication* work; this structure makes them do (almost) no *local*
+// work either.
+//
+// The structure keeps the descending rank order (by `ranks_above`: value,
+// id tie-break) as two parallel preallocated arrays plus a node→rank index.
+// Each step absorbs the fleet's observation vector by diffing it against a
+// shadow copy: unchanged nodes cost one branch-predictable compare, changed
+// nodes are repaired in place by bounded insertion moves (cost = rank
+// displacement). When a step disturbs more than `kRebuildFraction` of the
+// fleet, repairing degenerates, so the order is rebuilt with one in-place
+// sort instead. Either way the result is the unique total order, so which
+// path ran is unobservable — rebuild-vs-repair is a pure performance choice
+// and results stay bit-identical across machines.
+//
+// Steady-state stepping allocates nothing: every buffer is sized once at
+// construction (asserted via the counting allocator hook in
+// util/alloc_counter.hpp where enabled). σ(t) is answered with two binary
+// searches over the sorted values using the exact ε-comparison helpers of
+// model/oracle.hpp, so it equals Oracle::sigma bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+/// Incrementally maintained descending *multiset* of the fleet's values —
+/// the value-only sibling of TopKOrder for consumers that need v_π(k,t) and
+/// σ(t) but not rank identities (the engine's shared StepSnapshot). Same
+/// diff-and-repair regime, but repairs are one binary search + memmove and
+/// the dense-update rebuild is a plain value sort (no id indirection), so it
+/// is never slower than re-sorting from scratch. Allocation-free after
+/// construction.
+class SortedValues {
+ public:
+  explicit SortedValues(std::size_t n);
+
+  std::size_t n() const { return shadow_.size(); }
+
+  /// Absorbs the step's observation vector; first call sorts, later calls
+  /// diff against the previous vector and splice only changed values.
+  void update(std::span<const Value> values);
+
+  bool ready() const { return ready_; }
+
+  /// The value of rank k (1-based): v_π(k,t).
+  Value kth_value(std::size_t k) const;
+
+  /// σ(t) = |K(t)| for (k, ε); bit-identical to Oracle::sigma.
+  std::size_t sigma(std::size_t k, double epsilon) const;
+
+  /// Values in descending order (valid until the next update).
+  std::span<const Value> sorted() const {
+    return {sorted_desc_.data(), sorted_desc_.size()};
+  }
+
+  /// Dense-update fallback threshold, as in TopKOrder.
+  static constexpr double kRebuildFraction = 0.125;
+
+ private:
+  void splice(Value old_value, Value new_value);
+
+  ValueVector shadow_;       ///< last absorbed vector, by node id
+  ValueVector sorted_desc_;  ///< the same values, sorted descending
+  bool ready_ = false;
+};
+
+class TopKOrder {
+ public:
+  /// Order over an n-node fleet; all buffers are allocated here, once.
+  explicit TopKOrder(std::size_t n);
+
+  std::size_t n() const { return shadow_.size(); }
+
+  /// Absorbs the step's observation vector (size n). First call sorts;
+  /// subsequent calls diff against the previous vector and repair only the
+  /// changed nodes. Allocation-free.
+  void update(std::span<const Value> values);
+
+  /// Point update for callers that know the dirty set (must mirror what the
+  /// full vector would contain — the shadow copy is updated too).
+  void update_node(NodeId i, Value v);
+
+  /// True once update() has absorbed a vector.
+  bool ready() const { return ready_; }
+
+  /// The value of rank k (1-based): v_π(k,t).
+  Value kth_value(std::size_t k) const;
+
+  /// The node of rank k (1-based): π(k,t).
+  NodeId kth_node(std::size_t k) const;
+
+  /// σ(t) = |K(t)| for (k, ε); two binary searches, O(log n), bit-identical
+  /// to Oracle::sigma on the same vector.
+  std::size_t sigma(std::size_t k, double epsilon) const;
+
+  /// Values in descending rank order (contiguous; valid until next update).
+  std::span<const Value> sorted_values() const {
+    return {values_desc_.data(), values_desc_.size()};
+  }
+
+  /// Node ids in descending rank order.
+  std::span<const NodeId> sorted_ids() const {
+    return {ids_desc_.data(), ids_desc_.size()};
+  }
+
+  /// Rank (0-based) currently held by node i.
+  std::size_t rank_of(NodeId i) const { return pos_[i]; }
+
+  /// Nodes repaired incrementally / full rebuilds since construction —
+  /// observability counters for tests and the hot-path bench.
+  std::uint64_t repairs() const { return repairs_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Steps whose diff pass found more changed nodes than this fraction of n
+  /// fall back to one in-place sort. Exposed for tests.
+  static constexpr double kRebuildFraction = 0.125;
+
+ private:
+  void rebuild();
+  void repair(NodeId id, Value v);
+
+  ValueVector shadow_;            ///< last absorbed vector, by node id
+  ValueVector values_desc_;       ///< values in rank order (descending)
+  std::vector<NodeId> ids_desc_;  ///< node at each rank
+  std::vector<std::uint32_t> pos_;  ///< node id -> rank
+  std::uint64_t repairs_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace topkmon

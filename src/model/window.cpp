@@ -6,31 +6,96 @@
 
 namespace topkmon {
 
-WindowedValueModel::WindowedValueModel(std::size_t n, std::size_t window)
-    : window_(window), deques_(n), out_(n, 0) {
+WindowedValueModel::WindowedValueModel(std::size_t n, std::size_t window,
+                                       std::size_t max_arena_entries)
+    : window_(window), head_(n, 0), len_(n, 0), out_(n, 0) {
   TOPKMON_ASSERT_MSG(window >= 1, "windowed model needs W >= 1 (W = 0 means no model)");
+  if (n != 0 && window <= max_arena_entries / n) {
+    ring_t_.assign(n * window, 0);
+    ring_v_.assign(n * window, 0);
+  } else {
+    sparse_.resize(n);
+  }
 }
 
 const ValueVector& WindowedValueModel::push(TimeStep t, const ValueVector& raw) {
-  TOPKMON_ASSERT_MSG(raw.size() == deques_.size(), "observation vector sized for wrong fleet");
+  TOPKMON_ASSERT_MSG(raw.size() == head_.size(),
+                     "observation vector sized for wrong fleet");
   TOPKMON_ASSERT_MSG(t == next_t_, "window model must see consecutive steps");
   ++next_t_;
 
   last_expirations_ = 0;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    auto& dq = deques_[i];
-    const Value prev_max = dq.empty() ? 0 : dq.front().v;
-    const bool had_max = !dq.empty();
+  if (sparse_.empty()) {
+    push_arena(t, raw);
+  } else {
+    push_sparse(t, raw);
+  }
+  total_expirations_ += last_expirations_;
+  return out_;
+}
+
+void WindowedValueModel::push_arena(TimeStep t, const ValueVector& raw) {
+  const std::size_t n = head_.size();
+  const std::uint32_t cap = static_cast<std::uint32_t>(window_);
+  // Slot-major addressing: entry (node i, ring slot j) lives at j·n + i, so
+  // the short-deque common case touches the same few contiguous rows for
+  // every node.
+  const auto at = [n](std::uint32_t slot, std::size_t i) { return slot * n + i; };
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t head = head_[i];
+    std::uint32_t len = len_[i];
+
+    const bool had_max = len > 0;
+    const Value prev_max = had_max ? ring_v_[at(head, i)] : 0;
 
     // Evict entries that slid out of the window (t − W < s ≤ t stays).
     bool evicted = false;
-    while (!dq.empty() &&
-           dq.front().t + static_cast<TimeStep>(window_) <= t) {
-      dq.pop_front();
+    while (len > 0 && ring_t_[at(head, i)] + static_cast<TimeStep>(window_) <= t) {
+      head = head + 1 == cap ? 0 : head + 1;
+      --len;
       evicted = true;
     }
     // Monotonic insert: entries dominated by the new value can never be a
     // future window maximum (newer and no larger).
+    const Value v = raw[i];
+    while (len > 0) {
+      std::uint32_t back = head + len - 1;
+      if (back >= cap) back -= cap;
+      if (ring_v_[at(back, i)] > v) break;
+      --len;
+    }
+    std::uint32_t slot = head + len;
+    if (slot >= cap) slot -= cap;
+    ring_t_[at(slot, i)] = t;
+    ring_v_[at(slot, i)] = v;
+    ++len;
+
+    head_[i] = head;
+    len_[i] = len;
+    out_[i] = ring_v_[at(head, i)];
+    // An expiry requires the drop to leave the node reading a *retained
+    // older* observation: when the fresh observation itself becomes the
+    // maximum (always the case for W = 1), the node simply tracks the live
+    // stream — that is an ordinary value decrease, not an expiry.
+    if (had_max && evicted && out_[i] < prev_max && ring_t_[at(head, i)] != t) {
+      ++last_expirations_;
+    }
+  }
+}
+
+void WindowedValueModel::push_sparse(TimeStep t, const ValueVector& raw) {
+  // Reference monotonic-deque formulation, used when the flat arena would
+  // over-commit (see file comment). Identical outputs to push_arena.
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto& dq = sparse_[i];
+    const bool had_max = !dq.empty();
+    const Value prev_max = had_max ? dq.front().v : 0;
+
+    bool evicted = false;
+    while (!dq.empty() && dq.front().t + static_cast<TimeStep>(window_) <= t) {
+      dq.pop_front();
+      evicted = true;
+    }
     const Value v = raw[i];
     while (!dq.empty() && dq.back().v <= v) {
       dq.pop_back();
@@ -38,16 +103,10 @@ const ValueVector& WindowedValueModel::push(TimeStep t, const ValueVector& raw) 
     dq.push_back({t, v});
 
     out_[i] = dq.front().v;
-    // An expiry requires the drop to leave the node reading a *retained
-    // older* observation: when the fresh observation itself becomes the
-    // maximum (always the case for W = 1), the node simply tracks the live
-    // stream — that is an ordinary value decrease, not an expiry.
     if (had_max && evicted && out_[i] < prev_max && dq.front().t != t) {
       ++last_expirations_;
     }
   }
-  total_expirations_ += last_expirations_;
-  return out_;
 }
 
 ValueVector naive_window_max(const std::vector<ValueVector>& history,

@@ -1,11 +1,15 @@
 #include "sim/context.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace topkmon {
 
 SimContext::SimContext(SimParams params, std::uint64_t protocol_seed)
-    : params_(params), rng_(Rng::derive(protocol_seed, /*stream_id=*/0xC0FFEE)) {
+    : params_(params),
+      rng_(Rng::derive(protocol_seed, /*stream_id=*/0xC0FFEE)),
+      violating_(params.n, 0) {
   TOPKMON_ASSERT(params.n > 0);
   TOPKMON_ASSERT(params.k >= 1 && params.k <= params.n);
   TOPKMON_ASSERT(params.epsilon >= 0.0 && params.epsilon < 1.0);
@@ -30,6 +34,7 @@ void SimContext::set_filter_unicast(NodeId i, const Filter& f, MessageTag tag) {
   TOPKMON_ASSERT(i < nodes_.size());
   stats_.count(MessageKind::kServerToNode, tag);
   nodes_[i].set_filter(f);
+  refresh_violation(i);
 }
 
 void SimContext::broadcast(MessageTag tag) {
@@ -41,6 +46,7 @@ void SimContext::broadcast_filters(const std::function<Filter(const Node&)>& rul
   stats_.count(MessageKind::kBroadcast, tag);
   for (auto& node : nodes_) {
     node.set_filter(rule(node));
+    refresh_violation(node.id());
   }
 }
 
@@ -55,8 +61,23 @@ ExistenceResult SimContext::existence(const std::function<bool(const Node&)>& bi
 }
 
 ExistenceResult SimContext::collect_violations() {
-  return existence([](const Node& node) { return node.violating(); },
-                   MessageTag::kViolation);
+  if (violating_count_ == 0) {
+    // Quiescent fast path: with an empty active set the EXISTENCE schedule
+    // runs all rounds in silence and draws no randomness — reproduce its
+    // result and accounting directly, skipping the O(n) node sweep.
+    ExistenceResult res;
+    res.rounds = ExistenceProtocol::max_rounds(nodes_.size());
+    stats_.count(MessageKind::kNodeToServer, MessageTag::kViolation, 0);
+    stats_.add_rounds(res.rounds);
+    return res;
+  }
+  // The incremental bits make the node-side predicate one dense byte read.
+  ExistenceResult res = ExistenceProtocol::run(
+      nodes_.size(), [&](NodeId i) { return violating_[i] != 0; },
+      [&](NodeId i) { return nodes_[i].value(); }, rng_);
+  stats_.count(MessageKind::kNodeToServer, MessageTag::kViolation, res.messages);
+  stats_.add_rounds(res.rounds);
+  return res;
 }
 
 std::optional<SimContext::ProbeResult> SimContext::sample_max(
@@ -102,11 +123,13 @@ std::vector<SimContext::ProbeResult> SimContext::probe_top(std::size_t m) {
     return probe_sharer_->top(m);
   }
   std::vector<ProbeResult> out;
-  std::vector<bool> excluded(nodes_.size(), false);
+  scratch_.reset();
+  const std::span<std::uint8_t> excluded = scratch_.get<std::uint8_t>(nodes_.size());
+  std::fill(excluded.begin(), excluded.end(), std::uint8_t{0});
   for (std::size_t j = 0; j < m; ++j) {
-    auto r = sample_max([&](const Node& node) { return !excluded[node.id()]; });
+    auto r = sample_max([&](const Node& node) { return excluded[node.id()] == 0; });
     if (!r) break;
-    excluded[r->id] = true;
+    excluded[r->id] = 1;
     out.push_back(*r);
   }
   return out;
@@ -114,11 +137,20 @@ std::vector<SimContext::ProbeResult> SimContext::probe_top(std::size_t m) {
 
 void SimContext::advance_time(const ValueVector& values) {
   TOPKMON_ASSERT(values.size() == nodes_.size());
+  // One dense pass: install the observation and re-derive the node-side
+  // violation bit while the node is hot in cache. The bit array is what
+  // makes the per-step violation sweep (collect_violations) O(1) on
+  // quiescent steps.
+  std::size_t count = 0;
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     TOPKMON_ASSERT_MSG(values[i] <= kMaxObservableValue,
                        "generator exceeded kMaxObservableValue");
     nodes_[i].observe(values[i]);
+    const std::uint8_t v = nodes_[i].violating() ? 1 : 0;
+    violating_[i] = v;
+    count += v;
   }
+  violating_count_ = count;
   ++time_;
 }
 

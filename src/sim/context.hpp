@@ -28,6 +28,7 @@
 #include "protocols/existence.hpp"
 #include "sim/comm_stats.hpp"
 #include "sim/node.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace topkmon {
@@ -101,7 +102,15 @@ class SimContext {
   /// EXISTENCE over "node observes a filter violation" (Corollary 3.2).
   /// Senders attach their value; the server additionally learns the
   /// violation direction from the value vs the node's (server-known) filter.
+  ///
+  /// Hot-path note: violation bits are maintained incrementally (observe /
+  /// filter writes), so the quiescent case — no node violating — answers in
+  /// O(1) with the exact message/round accounting and RNG draws (none) the
+  /// full EXISTENCE run would produce on an empty active set.
   ExistenceResult collect_violations();
+
+  /// Nodes currently observing a filter violation (maintained incrementally).
+  std::size_t violating_count() const { return violating_count_; }
 
   using ProbeResult = ::topkmon::ProbeResult;
 
@@ -133,7 +142,10 @@ class SimContext {
   void advance_time(const ValueVector& values);
 
   /// Direct filter write without accounting — simulator/test setup only.
-  void set_filter_free(NodeId i, const Filter& f) { nodes_[i].set_filter(f); }
+  void set_filter_free(NodeId i, const Filter& f) {
+    nodes_[i].set_filter(f);
+    refresh_violation(i);
+  }
 
   /// Installs (or clears, with nullptr) the cross-query probe batching hook;
   /// the sharer must outlive this context. Engine plumbing only.
@@ -141,12 +153,26 @@ class SimContext {
   ProbeSharer* probe_sharer() const { return probe_sharer_; }
 
  private:
+  /// Re-derives node i's violation bit after a filter or value write.
+  void refresh_violation(NodeId i) {
+    const std::uint8_t now = nodes_[i].violating() ? 1 : 0;
+    violating_count_ += now;
+    violating_count_ -= violating_[i];
+    violating_[i] = now;
+  }
+
   SimParams params_;
   std::vector<Node> nodes_;
   CommStats stats_;
   Rng rng_;
   TimeStep time_ = -1;
   ProbeSharer* probe_sharer_ = nullptr;
+  /// SoA violation bits, kept in sync with every observe / filter write so
+  /// the per-step violation sweep reads a dense byte array instead of
+  /// re-evaluating filters through two std::function hops per node.
+  std::vector<std::uint8_t> violating_;
+  std::size_t violating_count_ = 0;
+  ScratchArena scratch_;  ///< per-step scratch (probe exclusion flags)
 };
 
 }  // namespace topkmon

@@ -12,18 +12,15 @@ Simulator::Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
       gen_(std::move(gen)),
       protocol_(std::move(protocol)),
       ctx_(SimParams{gen_ ? gen_->n() : 0, cfg.k, cfg.epsilon}, cfg.seed),
-      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)) {
+      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)),
+      fleet_(gen_ ? gen_->n() : 1, cfg.window) {
   TOPKMON_ASSERT(gen_ != nullptr);
   TOPKMON_ASSERT(protocol_ != nullptr);
-  scratch_values_.resize(gen_->n());
   if (cfg_.faults) {
     attach_fault_channel(cfg_.faults);
     injector_ = std::make_unique<FaultInjector>(cfg_.faults);
   }
-  if (cfg_.window != kInfiniteWindow) {
-    window_model_ = std::make_unique<WindowedValueModel>(gen_->n(), cfg_.window);
-    window_view_ = window_model_.get();
-  }
+  window_view_ = fleet_.window();
 }
 
 Simulator::Simulator(SimConfig cfg, std::size_t n,
@@ -32,20 +29,18 @@ Simulator::Simulator(SimConfig cfg, std::size_t n,
       gen_(nullptr),
       protocol_(std::move(protocol)),
       ctx_(SimParams{n, cfg.k, cfg.epsilon}, cfg.seed),
-      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)) {
+      gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)),
+      fleet_(n, cfg.window) {
   TOPKMON_ASSERT(protocol_ != nullptr);
   if (cfg_.faults) {
     attach_fault_channel(cfg_.faults);
     injector_ = std::make_unique<FaultInjector>(cfg_.faults);
   }
-  if (cfg_.window != kInfiniteWindow) {
-    window_model_ = std::make_unique<WindowedValueModel>(n, cfg_.window);
-    window_view_ = window_model_.get();
-  }
+  window_view_ = fleet_.window();
 }
 
 void Simulator::attach_window_channel(const WindowedValueModel* model) {
-  TOPKMON_ASSERT_MSG(window_model_ == nullptr,
+  TOPKMON_ASSERT_MSG(fleet_.window() == nullptr,
                      "window channel conflicts with SimConfig::window");
   TOPKMON_ASSERT_MSG(next_t_ == 0, "window channel must attach before the first step");
   window_view_ = model;
@@ -64,29 +59,33 @@ void Simulator::attach_fault_channel(FleetSchedulePtr faults) {
 void Simulator::step() {
   TOPKMON_ASSERT_MSG(gen_ != nullptr,
                      "Simulator without generator must be driven via step_with()");
+  // The generator writes the raw (true) vector into the fleet's preallocated
+  // staging buffer in place.
   if (next_t_ == 0) {
-    gen_->init(scratch_values_, gen_rng_);
+    gen_->init(fleet_.staging(), gen_rng_);
   } else {
     const AdversaryView view{ctx_.nodes(), &protocol_->output(), cfg_.k, cfg_.epsilon};
-    gen_->step(next_t_, view, scratch_values_, gen_rng_);
+    gen_->step(next_t_, view, fleet_.staging(), gen_rng_);
   }
-  step_with(scratch_values_);
+  step_with(fleet_.staging());
 }
 
 void Simulator::step_with(const ValueVector& values) {
   // Standalone fault injection: churn/straggler effects rewrite the true
-  // vector into what the fleet actually observes. (Engine-driven simulators
-  // receive pre-transformed snapshots; their injector_ stays null.)
-  const ValueVector& faulted =
-      injector_ ? injector_->transform(next_t_, values) : values;
+  // vector into what the fleet actually observes, in place inside the
+  // fleet's effective buffer. (Engine-driven simulators receive
+  // pre-transformed snapshots; their injector_ stays null.)
+  const ValueVector* eff =
+      injector_ ? &injector_->transform(next_t_, values, fleet_) : &values;
   // Standalone windowing: nodes report the maximum of what they observed
   // over the last W steps. (Engine-driven simulators receive pre-windowed
-  // snapshots; their window_model_ stays null.)
-  const ValueVector& eff =
-      window_model_ ? window_model_->push(next_t_, faulted) : faulted;
+  // snapshots; their fleet owns no window model.)
+  if (WindowedValueModel* wm = fleet_.window()) {
+    eff = &wm->push(next_t_, *eff);
+  }
 
   ctx_.stats().begin_step();
-  ctx_.advance_time(eff);
+  ctx_.advance_time(*eff);
   if (injector_) {
     ctx_.stats().add_stale_reads(injector_->last_stale());
   }
@@ -102,31 +101,48 @@ void Simulator::step_with(const ValueVector& values) {
     protocol_->on_step(ctx_);
   }
 
-  const std::size_t sigma = sigma_hook_
-                                ? sigma_hook_(cfg_.k, cfg_.epsilon)
-                                : Oracle::sigma(eff, cfg_.k, cfg_.epsilon);
+  std::size_t sigma;
+  if (sigma_hook_) {
+    sigma = sigma_hook_(cfg_.k, cfg_.epsilon);
+  } else {
+    // Incremental order maintenance: quiescent steps cost one diff pass and
+    // two binary searches instead of an O(n log n) sort with allocations.
+    // The id-tracking TopKOrder (not the value-only SortedValues) is kept
+    // here deliberately: the standalone simulator's fleet view maintains the
+    // actual top-k *positions* — the paper's monitored object — and its
+    // dense-update rebuild is the same comparator-indirect sort the replaced
+    // Oracle::ranking performed, so rank identity costs nothing extra on the
+    // paths that matter.
+    TopKOrder& order = fleet_.order();
+    order.update(*eff);
+    sigma = order.sigma(cfg_.k, cfg_.epsilon);
+  }
   max_sigma_ = std::max(max_sigma_, sigma);
   if (cfg_.record_history) {
     // What the algorithm (and the offline OPT it is compared against) saw.
-    history_.push_back(eff);
+    history_.push_back(*eff);
   }
   if (cfg_.strict) {
-    validate_strict(eff);
+    validate_strict(*eff);
   }
   ++next_t_;
 }
 
-void Simulator::validate_strict(const ValueVector& values) const {
+void Simulator::validate_strict(const ValueVector& values) {
   const auto& out = protocol_->output();
   const std::string why = Oracle::explain_invalid(values, cfg_.k, cfg_.epsilon, out);
   TOPKMON_ASSERT_MSG(why.empty(), ("output invalid at t=" + std::to_string(next_t_) +
                                    " [" + std::string(protocol_->name()) + "]: " + why)
                                       .c_str());
 
-  std::vector<Filter> filters;
-  filters.reserve(ctx_.n());
-  for (const auto& node : ctx_.nodes()) {
-    filters.push_back(node.filter());
+  // The filter snapshot is captured lazily — only here, where the validator
+  // actually consumes it — and into the reusable arena, not a fresh vector
+  // per step.
+  strict_arena_.reset();
+  const std::span<Filter> filters = strict_arena_.get<Filter>(ctx_.n());
+  const std::span<const Node> nodes = ctx_.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    filters[i] = nodes[i].filter();
   }
   TOPKMON_ASSERT_MSG(
       filters_valid(std::span<const Filter>(filters.data(), filters.size()), out,

@@ -6,6 +6,14 @@
 // matrix so the offline OPT (src/offline) can be evaluated on exactly the
 // stream the online algorithm saw — required because adaptive adversaries
 // make the stream depend on the algorithm's randomness.
+//
+// Hot path: all per-step state lives in a preallocated SoA FleetState
+// (model/fleet_state.hpp) — generator staging, fault-effective values and
+// flags, window rings — and σ(t) comes from the fleet's incremental
+// TopKOrder instead of a per-step sort, so a steady-state step performs no
+// heap allocation (see util/alloc_counter.hpp). Strict-mode scratch (the
+// filter snapshot the validator consumes) is captured lazily into a
+// reusable arena only when validation actually runs.
 #pragma once
 
 #include <array>
@@ -15,10 +23,12 @@
 
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "model/fleet_state.hpp"
 #include "model/window.hpp"
 #include "sim/context.hpp"
 #include "sim/protocol.hpp"
 #include "sim/stream.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace topkmon {
@@ -108,9 +118,14 @@ class Simulator {
   std::size_t max_sigma() const { return max_sigma_; }
   const SimConfig& config() const { return cfg_; }
 
+  /// The fleet's SoA step state (staging/effective buffers, fault flags,
+  /// window rings, incremental order).
+  const FleetState& fleet() const { return fleet_; }
+
   /// Engine hook: supplies σ(t) for (k, ε) on the current step's values in
-  /// place of the per-simulator Oracle::sigma recomputation. Must return the
-  /// identical quantity (shared-snapshot memoization, not approximation).
+  /// place of the per-simulator incremental-order computation. Must return
+  /// the identical quantity (shared-snapshot memoization, not
+  /// approximation).
   using SigmaFn = std::function<std::size_t(std::size_t k, double epsilon)>;
   void set_sigma_hook(SigmaFn fn) { sigma_hook_ = std::move(fn); }
 
@@ -129,15 +144,15 @@ class Simulator {
   /// shared snapshot once per step before fanning it out, and per-query
   /// simulators only consult the model for expiry dispatch (the
   /// on_window_expiry hook) and the window_expirations metric. Standalone
-  /// use goes through SimConfig::window instead, which owns a model and
-  /// additionally applies the transform in step_with().
+  /// use goes through SimConfig::window instead, which owns a model (inside
+  /// the FleetState) and additionally applies the transform in step_with().
   void attach_window_channel(const WindowedValueModel* model);
 
   /// The window model in effect (owned or engine-shared); null = unwindowed.
   const WindowedValueModel* window_model() const { return window_view_; }
 
  private:
-  void validate_strict(const ValueVector& values) const;
+  void validate_strict(const ValueVector& values);
 
   SimConfig cfg_;
   std::unique_ptr<StreamGenerator> gen_;
@@ -146,11 +161,11 @@ class Simulator {
   Rng gen_rng_;
   FleetSchedulePtr faults_;                  ///< loss + recovery channel
   std::unique_ptr<FaultInjector> injector_;  ///< value faults (standalone only)
-  std::unique_ptr<WindowedValueModel> window_model_;  ///< standalone only
+  FleetState fleet_;  ///< SoA step state: staging, effective, flags, window
   const WindowedValueModel* window_view_ = nullptr;   ///< owned or engine-shared
-  ValueVector scratch_values_;
   std::vector<ValueVector> history_;
   SigmaFn sigma_hook_;
+  ScratchArena strict_arena_;  ///< lazy validator scratch (strict mode only)
   std::size_t max_sigma_ = 0;
   TimeStep next_t_ = 0;
 };

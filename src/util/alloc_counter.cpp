@@ -1,0 +1,104 @@
+#include "util/alloc_counter.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace topkmon::detail {
+
+// Plain thread_local integers: zero-initialized, no dynamic TLS wrapper, so
+// they are safe to touch from inside operator new during static init.
+thread_local std::uint64_t tl_alloc_count = 0;
+thread_local std::uint64_t tl_alloc_bytes = 0;
+
+}  // namespace topkmon::detail
+
+namespace topkmon {
+
+bool alloc_counting_active() {
+#ifdef TOPKMON_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t thread_alloc_count() { return detail::tl_alloc_count; }
+std::uint64_t thread_alloc_bytes() { return detail::tl_alloc_bytes; }
+
+}  // namespace topkmon
+
+#ifdef TOPKMON_COUNT_ALLOCS
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ++topkmon::detail::tl_alloc_count;
+  topkmon::detail::tl_alloc_bytes += size;
+  return std::malloc(size);
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  ++topkmon::detail::tl_alloc_count;
+  topkmon::detail::tl_alloc_bytes += size;
+  void* p = nullptr;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  p = std::aligned_alloc(a, rounded);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_alloc(size, align)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_alloc(size, align)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc(size, align);
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+
+#endif  // TOPKMON_COUNT_ALLOCS

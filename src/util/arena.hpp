@@ -1,0 +1,80 @@
+// ScratchArena — a reusable per-owner bump buffer for per-step scratch.
+//
+// Hot-path code occasionally needs a short-lived typed buffer whose size
+// depends on runtime state (the strict validator's filter snapshot, the
+// probe's exclusion flags). Allocating a std::vector per use would break the
+// steady-state zero-allocation invariant; a ScratchArena instead hands out
+// spans carved from one owned block that is retained across steps. The block
+// grows geometrically while the high-water mark is still rising and then
+// never again, so steady-state acquisitions are pointer bumps.
+//
+// Usage pattern (single-threaded per owner — Simulator, SimContext and the
+// engine snapshot each own their own arena):
+//
+//   arena.reset();                       // start of a step/operation
+//   auto filters = arena.get<Filter>(n); // uninitialized span, fill it
+//
+// reset() invalidates all outstanding spans; get() never does (a request
+// that would not fit the current block allocates a larger block and, because
+// earlier spans of the same cycle may still be live, retires the old block
+// at the NEXT reset rather than immediately).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace topkmon {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+
+  /// An uninitialized span of `count` Ts, valid until the next reset().
+  /// T must be trivially destructible (nothing runs destructors).
+  template <typename T>
+  std::span<T> get(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    const std::size_t bytes = count * sizeof(T);
+    std::size_t off = (off_ + alignof(T) - 1) / alignof(T) * alignof(T);
+    if (off + bytes > cap_) {
+      grow(off + bytes);
+      off = (off_ + alignof(T) - 1) / alignof(T) * alignof(T);
+    }
+    T* p = reinterpret_cast<T*>(block_.get() + off);
+    off_ = off + bytes;
+    return {p, count};
+  }
+
+  /// Recycles the arena: O(1), frees nothing unless the block grew since the
+  /// previous reset (then the retired smaller blocks are released).
+  void reset() {
+    retired_.clear();
+    off_ = 0;
+  }
+
+  /// Bytes of the live block (high-water capacity).
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  void grow(std::size_t needed) {
+    std::size_t new_cap = cap_ == 0 ? 256 : cap_ * 2;
+    while (new_cap < needed) new_cap *= 2;
+    auto fresh = std::make_unique<std::byte[]>(new_cap);
+    if (block_) {
+      retired_.push_back(std::move(block_));  // spans of this cycle stay valid
+    }
+    block_ = std::move(fresh);
+    cap_ = new_cap;
+    off_ = 0;
+  }
+
+  std::unique_ptr<std::byte[]> block_;
+  std::vector<std::unique_ptr<std::byte[]>> retired_;
+  std::size_t cap_ = 0;
+  std::size_t off_ = 0;
+};
+
+}  // namespace topkmon

@@ -1,0 +1,278 @@
+// TopKOrder — incremental order maintenance vs. the full re-sort oracle.
+//
+// Every mutation path is differentially checked against Oracle::ranking /
+// Oracle::sigma recomputed from scratch: bulk updates (repair and rebuild
+// regimes), point updates, tie-breaking, and the two invalidation seams the
+// engine feeds the structure through — sliding-window expiry (values drop
+// by pure eviction) and fleet membership changes (values freeze and snap
+// back on rejoin).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "faults/injector.hpp"
+#include "faults/schedule.hpp"
+#include "model/fleet_state.hpp"
+#include "model/oracle.hpp"
+#include "model/topk_order.hpp"
+#include "model/window.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon {
+namespace {
+
+/// Asserts the structure agrees with the from-scratch oracle on `values`.
+void expect_matches_oracle(const TopKOrder& order, const ValueVector& values) {
+  const std::vector<NodeId> ranked = Oracle::ranking(values);
+  ASSERT_EQ(order.n(), values.size());
+  const auto ids = order.sorted_ids();
+  const auto vals = order.sorted_values();
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    ASSERT_EQ(ids[r], ranked[r]) << "rank " << r;
+    ASSERT_EQ(vals[r], values[ranked[r]]) << "rank " << r;
+    ASSERT_EQ(order.rank_of(ids[r]), r);
+  }
+  for (std::size_t k = 1; k <= values.size(); ++k) {
+    ASSERT_EQ(order.kth_value(k), Oracle::kth_value(values, k)) << "k=" << k;
+    ASSERT_EQ(order.kth_node(k), Oracle::kth_node(values, k)) << "k=" << k;
+  }
+  for (const double eps : {0.0, 0.05, 0.1, 0.3, 0.7}) {
+    for (std::size_t k = 1; k <= values.size(); k += 3) {
+      ASSERT_EQ(order.sigma(k, eps), Oracle::sigma(values, k, eps))
+          << "k=" << k << " eps=" << eps;
+    }
+  }
+}
+
+TEST(TopKOrder, FirstUpdateSortsFromScratch) {
+  const ValueVector v{5, 9, 1, 9, 3};
+  TopKOrder order(v.size());
+  EXPECT_FALSE(order.ready());
+  order.update(v);
+  EXPECT_TRUE(order.ready());
+  EXPECT_EQ(order.rebuilds(), 1u);
+  expect_matches_oracle(order, v);
+}
+
+TEST(TopKOrder, TiesBreakByLowerId) {
+  const ValueVector v{7, 7, 7, 7};
+  TopKOrder order(v.size());
+  order.update(v);
+  const auto ids = order.sorted_ids();
+  for (NodeId i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(ids[i], i);
+  }
+}
+
+TEST(TopKOrder, QuiescentUpdateDoesNoRepairWork) {
+  Rng rng(7);
+  ValueVector v(64);
+  for (auto& x : v) x = rng.below(1000);
+  TopKOrder order(v.size());
+  order.update(v);
+  const std::uint64_t repairs = order.repairs();
+  const std::uint64_t rebuilds = order.rebuilds();
+  for (int i = 0; i < 10; ++i) {
+    order.update(v);
+  }
+  EXPECT_EQ(order.repairs(), repairs);
+  EXPECT_EQ(order.rebuilds(), rebuilds);
+  expect_matches_oracle(order, v);
+}
+
+TEST(TopKOrder, SparseUpdatesTakeTheRepairPath) {
+  Rng rng(11);
+  ValueVector v(200);
+  for (auto& x : v) x = 1000 + rng.below(100000);
+  TopKOrder order(v.size());
+  order.update(v);
+  ASSERT_EQ(order.rebuilds(), 1u);
+  for (int step = 0; step < 50; ++step) {
+    // Disturb a handful of nodes (< kRebuildFraction of n).
+    for (int j = 0; j < 5; ++j) {
+      v[rng.below(v.size())] = 1000 + rng.below(100000);
+    }
+    order.update(v);
+    expect_matches_oracle(order, v);
+  }
+  EXPECT_EQ(order.rebuilds(), 1u) << "sparse steps must not trigger rebuilds";
+  EXPECT_GT(order.repairs(), 0u);
+}
+
+TEST(TopKOrder, DenseUpdatesFallBackToRebuild) {
+  Rng rng(13);
+  ValueVector v(100);
+  for (auto& x : v) x = rng.below(1 << 20);
+  TopKOrder order(v.size());
+  order.update(v);
+  const std::uint64_t repairs = order.repairs();
+  for (auto& x : v) x = rng.below(1 << 20);  // everything changes
+  order.update(v);
+  EXPECT_EQ(order.rebuilds(), 2u);
+  EXPECT_EQ(order.repairs(), repairs) << "rebuild path must not repair";
+  expect_matches_oracle(order, v);
+}
+
+TEST(TopKOrder, PointUpdateMatchesOracle) {
+  Rng rng(17);
+  ValueVector v(48);
+  for (auto& x : v) x = rng.below(5000);
+  TopKOrder order(v.size());
+  order.update(v);
+  for (int step = 0; step < 200; ++step) {
+    const NodeId i = static_cast<NodeId>(rng.below(v.size()));
+    // Mix extremes (jump to top/bottom) with small jitter, and no-ops.
+    const std::uint64_t kind = rng.below(4);
+    const Value nv = kind == 0   ? 0
+                     : kind == 1 ? 1 << 20
+                     : kind == 2 ? v[i]
+                                 : rng.below(5000);
+    v[i] = nv;
+    order.update_node(i, nv);
+    expect_matches_oracle(order, v);
+  }
+}
+
+TEST(TopKOrder, RandomWalkDifferentialAgainstFullSort) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    ValueVector v(33);
+    for (auto& x : v) x = 10000 + rng.below(10000);
+    TopKOrder order(v.size());
+    for (int step = 0; step < 120; ++step) {
+      // Random-walk a random subset; subset size sweeps across the
+      // repair/rebuild threshold.
+      const std::size_t disturb = rng.below(v.size() + 1);
+      for (std::size_t j = 0; j < disturb; ++j) {
+        auto& x = v[rng.below(v.size())];
+        const std::uint64_t delta = rng.below(2000);
+        x = rng.bernoulli(0.5) && x > delta ? x - delta : x + delta;
+      }
+      order.update(v);
+      expect_matches_oracle(order, v);
+    }
+  }
+}
+
+TEST(TopKOrder, SigmaIsBitIdenticalOnBoundaryEpsilons) {
+  // Values engineered to sit exactly on the (1−ε)-scaled boundaries, where
+  // a reformulated comparison would diverge.
+  const ValueVector v{1000, 900, 899, 810, 800, 100, 0};
+  TopKOrder order(v.size());
+  order.update(v);
+  for (const double eps : {0.0, 0.1, 0.100000000000001, 0.19, 0.2, 0.5, 0.9}) {
+    for (std::size_t k = 1; k <= v.size(); ++k) {
+      ASSERT_EQ(order.sigma(k, eps), Oracle::sigma(v, k, eps))
+          << "k=" << k << " eps=" << eps;
+    }
+  }
+}
+
+// --- SortedValues (the value-only engine-snapshot sibling) ------------------
+
+TEST(SortedValues, DifferentialAgainstFullSortAcrossRegimes) {
+  for (const std::uint64_t seed : {101u, 102u}) {
+    Rng rng(seed);
+    ValueVector v(40);
+    for (auto& x : v) x = rng.below(300);  // small range: plenty of duplicates
+    SortedValues sv(v.size());
+    for (int step = 0; step < 150; ++step) {
+      const std::size_t disturb = rng.below(v.size() + 1);
+      for (std::size_t j = 0; j < disturb; ++j) {
+        v[rng.below(v.size())] = rng.below(300);
+      }
+      sv.update(v);
+      ValueVector expect = v;
+      std::sort(expect.begin(), expect.end(), std::greater<Value>());
+      const auto got = sv.sorted();
+      ASSERT_TRUE(std::equal(expect.begin(), expect.end(), got.begin(), got.end()));
+      for (std::size_t k = 1; k <= v.size(); k += 5) {
+        ASSERT_EQ(sv.kth_value(k), Oracle::kth_value(v, k));
+        ASSERT_EQ(sv.sigma(k, 0.15), Oracle::sigma(v, k, 0.15));
+      }
+    }
+  }
+}
+
+TEST(SortedValues, AgreesWithTopKOrderOnEverySigma) {
+  Rng rng(7777);
+  ValueVector v(64);
+  for (auto& x : v) x = 1000 + rng.below(400);
+  SortedValues sv(v.size());
+  TopKOrder order(v.size());
+  for (int step = 0; step < 60; ++step) {
+    for (int j = 0; j < 3; ++j) {
+      v[rng.below(v.size())] = 1000 + rng.below(400);
+    }
+    sv.update(v);
+    order.update(v);
+    for (std::size_t k = 1; k <= v.size(); k += 7) {
+      for (const double eps : {0.0, 0.1, 0.25}) {
+        ASSERT_EQ(sv.sigma(k, eps), order.sigma(k, eps));
+      }
+    }
+  }
+}
+
+// --- invalidation seams ----------------------------------------------------
+
+TEST(TopKOrder, TracksWindowExpiryDrops) {
+  // Feed the order the windowed vector; expiry steps drop values by pure
+  // eviction (no fresh observation causes the change) and must re-rank.
+  const std::size_t n = 6, W = 4;
+  WindowedValueModel window(n, W);
+  TopKOrder order(n);
+  Rng rng(23);
+  ValueVector raw(n);
+  std::uint64_t expirations = 0;
+  for (TimeStep t = 0; t < 80; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Spiky: occasional large peaks that later slide out of the window.
+      raw[i] = rng.bernoulli(0.15) ? 1000 + rng.below(1000) : rng.below(50);
+    }
+    const ValueVector& windowed = window.push(t, raw);
+    order.update(windowed);
+    expect_matches_oracle(order, windowed);
+    expirations += window.last_expirations();
+  }
+  EXPECT_GT(expirations, 0u) << "workload never exercised the expiry path";
+}
+
+TEST(TopKOrder, TracksMembershipChangeFreezesAndRejoins) {
+  // Feed the order the fault-effective vector: offline nodes freeze, then
+  // snap back on rejoin — exactly the engine's membership-change seam.
+  const std::size_t n = 8;
+  auto sched = std::make_shared<FleetSchedule>(n);
+  sched->add_event(3, 1);   // node 1 leaves
+  sched->add_event(3, 4);   // node 4 leaves
+  sched->add_event(10, 1);  // node 1 rejoins
+  sched->add_event(15, 4);  // node 4 rejoins
+  sched->set_delay(6, 2);   // node 6 straggles throughout
+  FaultInjector injector(sched);
+  FleetState fleet(n);
+  TopKOrder order(n);
+  Rng rng(29);
+  ValueVector truth(n);
+  for (auto& x : truth) x = 500 + rng.below(500);
+  for (TimeStep t = 0; t < 30; ++t) {
+    for (auto& x : truth) x += rng.below(40);
+    const ValueVector& eff = injector.transform(t, truth, fleet);
+    order.update(eff);
+    expect_matches_oracle(order, eff);
+    // The injector also publishes per-node FaultFlag bits into the fleet's
+    // SoA flag buffer — the step's degradation map for consumers that need
+    // to know *which* observations are live.
+    const auto flags = fleet.fault_flags();
+    if (t >= 3 && t < 10) {
+      EXPECT_EQ(flags[1], kFaultOffline | kFaultStale) << "t=" << t;
+    }
+    if (t >= 1) {
+      EXPECT_EQ(flags[6], kFaultStale) << "t=" << t;  // straggler
+      EXPECT_EQ(flags[0], kFaultNone) << "t=" << t;   // live node
+    }
+  }
+  EXPECT_GT(injector.total_stale(), 0u);
+}
+
+}  // namespace
+}  // namespace topkmon

@@ -69,6 +69,26 @@ TEST(WindowModel, MatchesNaiveRecomputationOnRandomStreams) {
   }
 }
 
+TEST(WindowModel, SparseFallbackMatchesArenaMode) {
+  // Forcing max_arena_entries = 0 routes the same stream through the
+  // per-node-deque fallback (used when n·W would over-commit the flat
+  // arena); outputs and expiry counters must be identical entry for entry.
+  for (const std::size_t n : {1u, 4u, 9u}) {
+    for (const std::size_t window : {1u, 3u, 16u, 33u}) {
+      const auto history = random_history(n, 80, 7000 + n * 100 + window, 40);
+      WindowedValueModel arena(n, window);
+      WindowedValueModel sparse(n, window, /*max_arena_entries=*/0);
+      for (std::size_t t = 0; t < history.size(); ++t) {
+        const ValueVector& a = arena.push(static_cast<TimeStep>(t), history[t]);
+        const ValueVector& s = sparse.push(static_cast<TimeStep>(t), history[t]);
+        ASSERT_EQ(a, s) << "n=" << n << " W=" << window << " t=" << t;
+        ASSERT_EQ(arena.last_expirations(), sparse.last_expirations());
+      }
+      EXPECT_EQ(arena.total_expirations(), sparse.total_expirations());
+    }
+  }
+}
+
 TEST(WindowModel, WindowedHistoryMatchesNaivePerRow) {
   const auto history = random_history(5, 40, 77, 30);
   for (const std::size_t window : {1u, 3u, 9u, 100u}) {
