@@ -18,6 +18,7 @@
 #include "sim/simulator.hpp"
 #include "streams/registry.hpp"
 #include "util/alloc_counter.hpp"
+#include "util/simd.hpp"
 
 namespace topkmon {
 namespace {
@@ -129,6 +130,34 @@ void BM_HotPathStep(benchmark::State& state) {
 }
 BENCHMARK(BM_HotPathStep)
     ->ArgsProduct({{64, 1024, 16384}, {0, 256}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// The churn path over the shared churn cell grid (bench_e14_churn's twin):
+// dense value churn, scattered large-displacement updates, and adversarial
+// oscillation. The vectorized step kernel — diff scan, scan-mode σ, packed-
+// key radix rebuilds, violation sweep — is what keeps these steps
+// bandwidth-bound. Args: n, kind (0 = churn, 1 = sparse, 2 = osc).
+void BM_ChurnPathStep(benchmark::State& state) {
+  bench::ChurnCell cell;
+  cell.n = static_cast<std::size_t>(state.range(0));
+  cell.kind = static_cast<bench::ChurnKind>(state.range(1));
+  auto run = bench::make_churn_run(cell, /*seed=*/42);
+  TimeStep t = 0;
+  for (; t < 64; ++t) {
+    run.sim->step_with(run.vector_for(t));  // warm past the start round
+  }
+  const std::uint64_t msgs_before = run.sim->result().messages;
+  for (auto _ : state) {
+    run.sim->step_with(run.vector_for(t++));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["msgs/step"] = benchmark::Counter(
+      static_cast<double>(run.sim->result().messages - msgs_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetLabel(bench::churn_workload_name(cell) + "/simd=" + simd::active_isa());
+}
+BENCHMARK(BM_ChurnPathStep)
+    ->ArgsProduct({{1024, 16384}, {0, 1, 2}})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_OfflineOptApprox(benchmark::State& state) {

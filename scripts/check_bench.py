@@ -46,8 +46,11 @@ import sys
 # (bench_e13_hotpath): fault-free steady-state rows must stay exactly 0
 # ("n/a" on churn rows, "off" when the counting hook is compiled out — gate
 # and baseline must agree on the build flavor, see .github/workflows).
+# "repairs"/"rebuilds" pin the order-maintenance path choice of the churn
+# bench (bench_e14_churn): outputs are identical on every path, so drift here
+# is a deliberate policy change that must go through a baseline refresh.
 EXACT_COLUMNS = {"messages", "serial messages", "shared probe msgs", "identical",
-                 "expirations", "opt phases", "allocs/step"}
+                 "expirations", "opt phases", "allocs/step", "repairs", "rebuilds"}
 # Columns that are wall-clock measurements or derived ratios: never compared
 # directly (the throughput metric below is the one gated, with tolerance).
 NOISY_COLUMNS = {"engine ms", "serial ms", "speedup", "ns/step", "query-steps/s",
@@ -184,6 +187,15 @@ def main() -> int:
             failures.append(f"row missing from current run: [{label}]")
             continue
 
+        # A counter the current run reports but the baseline lacks would
+        # otherwise be silently ungated — fail loudly and name the metric so
+        # the fix (refresh or regenerate the baseline) is obvious.
+        for col in sorted((EXACT_COLUMNS | {args.metric}) & cur.keys() - base.keys()):
+            failures.append(
+                f"[{label}] metric missing from baseline: '{col}' — the current "
+                f"run reports it but {args.baseline} has no entry to gate it "
+                "against; regenerate the baseline to cover it")
+
         for col in EXACT_COLUMNS & base.keys() & cur.keys():
             if base[col] != cur[col]:
                 failures.append(
@@ -202,6 +214,25 @@ def main() -> int:
                 print(f"check_bench: note: [{label}] {args.metric} improved "
                       f"{b:.0f} -> {c:.0f}; consider refreshing the baseline")
             checked += 1
+
+    # The converse direction: anything the current run produced that the
+    # baseline cannot gate is an error, not a silent skip — a new bench, a
+    # new grid row or a new counter must land together with its baseline
+    # entry (run --write-baseline, see README "Refreshing bench_baseline").
+    base_titles = {t.get("title", "") for t in baseline.get("tables", [])}
+    missing_tables: set[str] = set()
+    for (title, key), _row in cur_rows.items():
+        if title not in base_titles:
+            missing_tables.add(title)
+        elif (title, key) not in base_rows:
+            label = ", ".join(f"{k}={v}" for k, v in key)
+            failures.append(
+                f"[{label}] row missing from baseline table '{title}' — "
+                "regenerate the baseline to gate it")
+    for title in sorted(missing_tables):
+        failures.append(
+            f"table missing from baseline: '{title}' — the current run "
+            "produced it but nothing gates it; regenerate the baseline")
 
     if not base_rows:
         failures.append("baseline contains no rows")

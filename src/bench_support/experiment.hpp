@@ -50,6 +50,25 @@ struct ExperimentResult {
   RunResult last_run;        ///< full stats of the final trial
 };
 
+/// One trial's raw outcome — the unit of the sweep runner's (cell × trial)
+/// work-stealing grid. Trials of a cell are independent (each derives its
+/// own seeds), so they can run on any worker in any order; folding them back
+/// in trial order (accumulate_trial) reproduces the serial run bit-for-bit.
+struct TrialOutcome {
+  RunResult run;
+  std::uint64_t opt_phases = 0;  ///< meaningful iff has_opt
+  bool has_opt = false;
+};
+
+/// Runs trial `trial` of one cell.
+TrialOutcome run_experiment_trial(const ExperimentConfig& cfg, std::size_t trial);
+
+/// Folds one trial into the cell's result. Must be called in trial order —
+/// the single aggregation point shared by run_experiment and the sweep
+/// runner, so both fold with the identical floating-point operation order.
+void accumulate_trial(ExperimentResult& res, const ExperimentConfig& cfg,
+                      const TrialOutcome& trial);
+
 /// Runs all trials of one cell (serially; parallelism lives in runner.hpp).
 /// Per-trial seeds derive from cfg.seed via splitmix_combine (util/rng.hpp).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

@@ -50,7 +50,7 @@ std::string group_key(const ExperimentConfig& cfg) {
   return oss.str();
 }
 
-struct TrialOutcome {
+struct GroupTrialOutcome {
   std::vector<RunResult> runs;     ///< per cell, group order
   std::vector<double> opt_phases;  ///< per cell; NaN where OptKind::kNone
 };
@@ -60,8 +60,8 @@ struct TrialOutcome {
 /// so per-cell RunResults are bit-identical to the serial path; the shared
 /// work is the generator (once per step) and the OPT (once per distinct
 /// (kind, ε') instead of once per cell).
-TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
-                             std::size_t trial) {
+GroupTrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
+                                  std::size_t trial) {
   const ExperimentConfig& base = *cells.front();
   const std::uint64_t sim_seed = splitmix_combine(base.seed, trial);
 
@@ -91,7 +91,7 @@ TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
   // results stay bit-identical to the solo path.
   const std::uint64_t fleet_stale = engine.run(base.steps).stale_reads;
 
-  TrialOutcome out;
+  GroupTrialOutcome out;
   out.runs.reserve(cells.size());
   out.opt_phases.assign(cells.size(), std::nan(""));
   // The engine history is pre-window; the windowed OPT of a cell re-windows
@@ -120,20 +120,20 @@ TrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
   return out;
 }
 
-/// Folds trial outcomes into an ExperimentResult in the same order
+/// Folds group-trial outcomes into an ExperimentResult in the same order
 /// run_experiment would (trial 0 .. T−1).
-ExperimentResult merge_trials(const ExperimentConfig& cfg,
-                              const std::vector<const TrialOutcome*>& trials,
-                              std::size_t cell_pos) {
+ExperimentResult merge_group_trials(const ExperimentConfig& cfg,
+                                    const std::vector<GroupTrialOutcome>& trials,
+                                    std::size_t cell_pos) {
   ExperimentResult res;
-  for (const auto* t : trials) {
-    const RunResult& run = t->runs[cell_pos];
+  for (const GroupTrialOutcome& t : trials) {
+    const RunResult& run = t.runs[cell_pos];
     res.messages.add(static_cast<double>(run.messages));
     res.msgs_per_step.add(run.messages_per_step);
     res.max_sigma.add(static_cast<double>(run.max_sigma));
     res.max_rounds.add(static_cast<double>(run.max_rounds_per_step));
     if (cfg.opt_kind != OptKind::kNone) {
-      const double phases = t->opt_phases[cell_pos];
+      const double phases = t.opt_phases[cell_pos];
       res.opt_phases.add(phases);
       res.ratio.add(static_cast<double>(run.messages) /
                     std::max(1.0, phases));
@@ -170,48 +170,62 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepRow>& rows,
     }
   }
 
-  // Task grid: every solo cell and every (group, trial) pair is one pool
-  // task; each task derives its own RNG streams, so scheduling order never
-  // affects results.
-  struct GroupTask {
-    std::size_t group;
+  // (cell × trial) task grid: every trial of every cell — solo or grouped —
+  // is one independent unit for the work-stealing loop. Each task derives
+  // its own RNG streams and writes into its own preassigned slot, and the
+  // slots are folded on the caller thread in (cell, trial) order, so results
+  // are bit-identical whatever the worker count or steal pattern.
+  struct Task {
+    std::size_t index;  ///< solo: row index; grouped: group index
     std::size_t trial;
+    bool grouped;
   };
-  std::vector<GroupTask> group_tasks;
-  std::vector<std::vector<TrialOutcome>> outcomes(groups.size());
+  std::vector<Task> tasks;
+  std::vector<std::vector<TrialOutcome>> solo_outcomes(solo.size());
+  std::vector<std::vector<GroupTrialOutcome>> group_outcomes(groups.size());
+  for (std::size_t s = 0; s < solo.size(); ++s) {
+    const std::size_t trials = rows[solo[s]].cfg.trials;
+    solo_outcomes[s].resize(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      tasks.push_back({s, t, false});
+    }
+  }
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const std::size_t trials = rows[groups[g].front()].cfg.trials;
-    outcomes[g].resize(trials);
+    group_outcomes[g].resize(trials);
     for (std::size_t t = 0; t < trials; ++t) {
-      group_tasks.push_back({g, t});
+      tasks.push_back({g, t, true});
     }
   }
 
   ThreadPool pool(threads);
-  parallel_for(pool, solo.size() + group_tasks.size(), [&](std::size_t i) {
-    if (i < solo.size()) {
-      const std::size_t row = solo[i];
-      results[row] = run_experiment(rows[row].cfg);
+  parallel_for_ws(pool, tasks.size(), [&](std::size_t i) {
+    const Task task = tasks[i];
+    if (!task.grouped) {
+      solo_outcomes[task.index][task.trial] =
+          run_experiment_trial(rows[solo[task.index]].cfg, task.trial);
       return;
     }
-    const GroupTask task = group_tasks[i - solo.size()];
     std::vector<const ExperimentConfig*> cells;
-    cells.reserve(groups[task.group].size());
-    for (const std::size_t row : groups[task.group]) {
+    cells.reserve(groups[task.index].size());
+    for (const std::size_t row : groups[task.index]) {
       cells.push_back(&rows[row].cfg);
     }
-    outcomes[task.group][task.trial] = run_group_trial(cells, task.trial);
+    group_outcomes[task.index][task.trial] = run_group_trial(cells, task.trial);
   });
 
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    std::vector<const TrialOutcome*> trials;
-    trials.reserve(outcomes[g].size());
-    for (const auto& t : outcomes[g]) {
-      trials.push_back(&t);
+  for (std::size_t s = 0; s < solo.size(); ++s) {
+    const std::size_t row = solo[s];
+    ExperimentResult res;
+    for (const TrialOutcome& t : solo_outcomes[s]) {
+      accumulate_trial(res, rows[row].cfg, t);
     }
+    results[row] = std::move(res);
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
     for (std::size_t pos = 0; pos < groups[g].size(); ++pos) {
       const std::size_t row = groups[g][pos];
-      results[row] = merge_trials(rows[row].cfg, trials, pos);
+      results[row] = merge_group_trials(rows[row].cfg, group_outcomes[g], pos);
     }
   }
   return results;

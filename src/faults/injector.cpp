@@ -9,8 +9,19 @@ namespace topkmon {
 FaultInjector::FaultInjector(FleetSchedulePtr schedule)
     : schedule_(std::move(schedule)) {
   TOPKMON_ASSERT(schedule_ != nullptr);
+  const std::size_t n = schedule_->n();
   if (schedule_->max_delay() > 0) {
-    ring_.assign(schedule_->max_delay() + 1, ValueVector(schedule_->n(), 0));
+    ring_.assign(schedule_->max_delay() + 1, ValueVector(n, 0));
+    for (NodeId i = 0; i < n; ++i) {
+      if (schedule_->delay(i) > 0) {
+        stragglers_.push_back(i);
+      }
+    }
+  }
+  if (!schedule_->events().empty()) {
+    offline_.assign(n, 0);
+    offline_ids_.reserve(n);
+    frozen_.assign(n, 0);
   }
 }
 
@@ -19,6 +30,23 @@ const ValueVector& FaultInjector::transform(TimeStep t, const ValueVector& truth
     own_fleet_ = std::make_unique<FleetState>(schedule_->n());
   }
   return transform(t, truth, *own_fleet_);
+}
+
+void FaultInjector::advance_membership(TimeStep t) {
+  const auto& events = schedule_->events();
+  while (event_cursor_ < events.size() && events[event_cursor_].step <= t) {
+    const FleetEvent& ev = events[event_cursor_++];
+    const std::uint8_t now = ev.join ? 0 : 1;
+    if (offline_[ev.node] == now) continue;
+    offline_[ev.node] = now;
+    const auto it =
+        std::lower_bound(offline_ids_.begin(), offline_ids_.end(), ev.node);
+    if (now != 0) {
+      offline_ids_.insert(it, ev.node);
+    } else {
+      offline_ids_.erase(it);
+    }
+  }
 }
 
 const ValueVector& FaultInjector::transform(TimeStep t, const ValueVector& truth,
@@ -49,27 +77,41 @@ const ValueVector& FaultInjector::transform(TimeStep t, const ValueVector& truth
   if (t == 0) {
     std::copy(truth.begin(), truth.end(), effective.begin());
     std::fill(flags.begin(), flags.end(), std::uint8_t{kFaultNone});
+    flags_dirty_ = false;
     return effective;
   }
-  for (NodeId i = 0; i < n; ++i) {
-    if (!schedule_->online(i, t)) {
-      // Offline: observation frozen at the previous effective value.
-      flags[i] = kFaultOffline | kFaultStale;
-      ++last_stale_;
-      continue;
-    }
-    const std::size_t d = schedule_->delay(i);
-    if (d == 0) {
-      effective[i] = truth[i];
-      flags[i] = kFaultNone;
-    } else {
-      // The ring covers steps (t − max_delay) .. t; clamp to step 0 early on.
-      const std::size_t back = std::min<std::size_t>(d, static_cast<std::size_t>(t));
-      effective[i] = ring_[(static_cast<std::size_t>(t) - back) % ring_.size()][i];
-      flags[i] = kFaultStale;
-      ++last_stale_;
-    }
+  if (!offline_.empty()) {
+    advance_membership(t);
   }
+
+  // Healthy bulk first: save the frozen observations the copy would clobber,
+  // stream truth → effective in one pass, then fix up the (few) degraded
+  // nodes in place.
+  for (std::size_t j = 0; j < offline_ids_.size(); ++j) {
+    frozen_[j] = effective[offline_ids_[j]];
+  }
+  std::copy(truth.begin(), truth.end(), effective.begin());
+  if (flags_dirty_) {
+    std::fill(flags.begin(), flags.end(), std::uint8_t{kFaultNone});
+    flags_dirty_ = false;
+  }
+  for (std::size_t j = 0; j < offline_ids_.size(); ++j) {
+    const NodeId i = offline_ids_[j];
+    // Offline: observation frozen at the previous effective value.
+    effective[i] = frozen_[j];
+    flags[i] = kFaultOffline | kFaultStale;
+    ++last_stale_;
+  }
+  for (const NodeId i : stragglers_) {
+    if (!offline_.empty() && offline_[i] != 0) continue;
+    // The ring covers steps (t − max_delay) .. t; clamp to step 0 early on.
+    const std::size_t d = schedule_->delay(i);
+    const std::size_t back = std::min<std::size_t>(d, static_cast<std::size_t>(t));
+    effective[i] = ring_[(static_cast<std::size_t>(t) - back) % ring_.size()][i];
+    flags[i] = kFaultStale;
+    ++last_stale_;
+  }
+  flags_dirty_ = last_stale_ > 0;
   total_stale_ += last_stale_;
   return effective;
 }

@@ -22,7 +22,13 @@
 // Hot-path storage: the ring is a fixed array of max_delay+1 preallocated
 // vectors written in place (slot = t mod (max_delay+1)), the effective
 // vector lives in the caller's FleetState, and schedules without stragglers
-// skip retention entirely — a transform() in steady state allocates nothing.
+// skip retention entirely. The per-step apply is batched: membership is
+// tracked incrementally (the schedule's event list is consumed once, in
+// step order, instead of a per-node binary search every step), the healthy
+// bulk of the fleet is one contiguous copy of truth → effective, and only
+// the currently-degraded nodes — offline freezes and straggler ring reads —
+// are fixed up individually. A transform() in steady state allocates
+// nothing, and a fault-free step is exactly one memcpy.
 //
 // The injector is deterministic and RNG-free: with an all-zero schedule,
 // transform() is the identity and the fault-free path is reproduced
@@ -61,9 +67,19 @@ class FaultInjector {
   const FleetSchedule& schedule() const { return *schedule_; }
 
  private:
+  /// Applies the schedule's membership toggles for steps ≤ t to the
+  /// incremental offline set.
+  void advance_membership(TimeStep t);
+
   FleetSchedulePtr schedule_;
   std::vector<ValueVector> ring_;  ///< max_delay+1 preallocated slots (empty
                                    ///< when the schedule has no stragglers)
+  std::vector<NodeId> stragglers_;       ///< nodes with delay > 0, ascending
+  std::vector<std::uint8_t> offline_;    ///< current membership, by node
+  std::vector<NodeId> offline_ids_;      ///< currently-offline nodes, ascending
+  ValueVector frozen_;                   ///< offline values saved across the bulk copy
+  std::size_t event_cursor_ = 0;         ///< next unapplied schedule event
+  bool flags_dirty_ = false;  ///< a past step wrote nonzero FaultFlags
   std::unique_ptr<FleetState> own_fleet_;  ///< 2-arg transform() target only
   TimeStep next_t_ = 0;
   std::uint64_t last_stale_ = 0;

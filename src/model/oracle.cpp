@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 
 namespace topkmon {
 
@@ -66,6 +67,49 @@ std::size_t Oracle::sigma_sorted(std::span<const Value> sorted_desc, std::size_t
       std::partition_point(sorted_desc.begin(), sorted_desc.end(),
                            [&](Value v) { return clearly_larger(v, vk, epsilon); });
   return static_cast<std::size_t>(first_clearly_smaller - first_not_clearly_larger);
+}
+
+Value Oracle::kth_largest(std::span<const Value> values, std::size_t k) {
+  TOPKMON_ASSERT(k >= 1 && k <= values.size() && k <= kMaxScanK);
+  // top[0..filled) holds the largest values seen so far, descending; the
+  // admission test against top[k-1] is almost never true once the buffer is
+  // warm, so the pass costs one predictable branch per element.
+  Value top[kMaxScanK];
+  std::size_t filled = 0;
+  for (const Value v : values) {
+    if (filled == k) {
+      if (v <= top[k - 1]) continue;
+      std::size_t p = k - 1;
+      while (p > 0 && top[p - 1] < v) {
+        top[p] = top[p - 1];
+        --p;
+      }
+      top[p] = v;
+      continue;
+    }
+    std::size_t p = filled++;
+    while (p > 0 && top[p - 1] < v) {
+      top[p] = top[p - 1];
+      --p;
+    }
+    top[p] = v;
+  }
+  return top[k - 1];
+}
+
+std::size_t Oracle::sigma_scan(std::span<const Value> values, std::size_t k,
+                               double epsilon) {
+  const Value vk = kth_largest(values, k);
+  const double vkd = static_cast<double>(vk);
+  // #{v : ¬clearly_smaller} − #{v : clearly_larger}; both counts are
+  // order-independent, and each lane evaluates the ε-helper expression
+  // verbatim (clearly_smaller's bound is one double that every comparison
+  // shares, clearly_larger's scale multiplies per lane).
+  const std::size_t not_smaller =
+      simd::count_f64_ge(values.data(), (1.0 - epsilon) * vkd, values.size());
+  const std::size_t larger =
+      simd::count_scaled_gt(values.data(), 1.0 - epsilon, vkd, values.size());
+  return not_smaller - larger;
 }
 
 bool Oracle::output_valid(std::span<const Value> values, std::size_t k, double epsilon,

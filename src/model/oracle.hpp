@@ -67,6 +67,24 @@ class Oracle {
   static std::size_t sigma_sorted(std::span<const Value> sorted_desc, std::size_t k,
                                   double epsilon);
 
+  /// Largest k for which sigma_scan is available (the single-pass selection
+  /// buffer is fixed-size so scan mode stays allocation-free).
+  static constexpr std::size_t kMaxScanK = 128;
+
+  /// Exact k-th largest value of the multiset (duplicates count), k ≤
+  /// kMaxScanK: one branch-predictable selection pass, no sort, no
+  /// allocation.
+  static Value kth_largest(std::span<const Value> values, std::size_t k);
+
+  /// σ(t) from *unsorted* values, k ≤ kMaxScanK: selection scan for v_k plus
+  /// two vectorized ε-partition scans (util/simd.hpp). The lane predicates
+  /// are the exact expressions of the ε-helpers above, and neighborhood
+  /// membership is order-independent, so the result is bit-identical to
+  /// sigma()/sigma_sorted() — without materializing any order. This is the
+  /// churn-storm σ path: O(n) bandwidth-bound instead of a sort per step.
+  static std::size_t sigma_scan(std::span<const Value> values, std::size_t k,
+                                double epsilon);
+
   /// Output correctness per Sect. 2: |F| = k, every clearly-larger node is in
   /// F, and every remaining member of F lies in the ε-neighborhood.
   static bool output_valid(std::span<const Value> values, std::size_t k, double epsilon,

@@ -91,6 +91,9 @@ class WindowedValueModel {
   };
 
   void push_arena(TimeStep t, const ValueVector& raw);
+  /// Whole-fleet vectorized row merge for the uniform single-entry shape;
+  /// returns false (touching nothing) when any deque breaks the shape.
+  bool try_push_arena_vectorized(TimeStep t, const ValueVector& raw);
   void push_sparse(TimeStep t, const ValueVector& raw);
 
   std::size_t window_;
@@ -106,6 +109,7 @@ class WindowedValueModel {
   std::vector<std::deque<Entry>> sparse_;
   ValueVector out_;
   TimeStep next_t_ = 0;
+  std::uint32_t fastpath_cooldown_ = 0;  ///< steps to skip the vector probe
   std::uint64_t last_expirations_ = 0;
   std::uint64_t total_expirations_ = 0;
 };

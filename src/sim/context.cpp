@@ -3,13 +3,16 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 
 namespace topkmon {
 
 SimContext::SimContext(SimParams params, std::uint64_t protocol_seed)
     : params_(params),
       rng_(Rng::derive(protocol_seed, /*stream_id=*/0xC0FFEE)),
-      violating_(params.n, 0) {
+      violating_(params.n, 0),
+      filter_lo_(params.n, Filter::all().lo),
+      filter_hi_(params.n, Filter::all().hi) {
   TOPKMON_ASSERT(params.n > 0);
   TOPKMON_ASSERT(params.k >= 1 && params.k <= params.n);
   TOPKMON_ASSERT(params.epsilon >= 0.0 && params.epsilon < 1.0);
@@ -33,8 +36,7 @@ void SimContext::unicast(NodeId i, MessageTag tag) {
 void SimContext::set_filter_unicast(NodeId i, const Filter& f, MessageTag tag) {
   TOPKMON_ASSERT(i < nodes_.size());
   stats_.count(MessageKind::kServerToNode, tag);
-  nodes_[i].set_filter(f);
-  refresh_violation(i);
+  install_filter(i, f);
 }
 
 void SimContext::broadcast(MessageTag tag) {
@@ -45,8 +47,7 @@ void SimContext::broadcast_filters(const std::function<Filter(const Node&)>& rul
                                    MessageTag tag) {
   stats_.count(MessageKind::kBroadcast, tag);
   for (auto& node : nodes_) {
-    node.set_filter(rule(node));
-    refresh_violation(node.id());
+    install_filter(node.id(), rule(node));
   }
 }
 
@@ -136,21 +137,22 @@ std::vector<SimContext::ProbeResult> SimContext::probe_top(std::size_t m) {
 }
 
 void SimContext::advance_time(const ValueVector& values) {
-  TOPKMON_ASSERT(values.size() == nodes_.size());
-  // One dense pass: install the observation and re-derive the node-side
-  // violation bit while the node is hot in cache. The bit array is what
-  // makes the per-step violation sweep (collect_violations) O(1) on
-  // quiescent steps.
-  std::size_t count = 0;
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    TOPKMON_ASSERT_MSG(values[i] <= kMaxObservableValue,
-                       "generator exceeded kMaxObservableValue");
+  const std::size_t n = nodes_.size();
+  TOPKMON_ASSERT(values.size() == n);
+  // The range guard is one vectorized max scan instead of a per-node branch;
+  // it also certifies the exactness precondition of the violation pass's
+  // u64 → double lane conversion.
+  TOPKMON_ASSERT_MSG(simd::max_value(values.data(), n) <= kMaxObservableValue,
+                     "generator exceeded kMaxObservableValue");
+  for (NodeId i = 0; i < n; ++i) {
     nodes_[i].observe(values[i]);
-    const std::uint8_t v = nodes_[i].violating() ? 1 : 0;
-    violating_[i] = v;
-    count += v;
   }
-  violating_count_ = count;
+  // One branchless filter-bound pass over the SoA bound mirrors rederives
+  // every node-side violation bit — bit-identical to Filter::check per node.
+  // The bit array is what makes the per-step violation sweep
+  // (collect_violations) O(1) on quiescent steps.
+  violating_count_ = simd::violation_mask(values.data(), filter_lo_.data(),
+                                          filter_hi_.data(), n, violating_.data());
   ++time_;
 }
 

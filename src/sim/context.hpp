@@ -142,10 +142,7 @@ class SimContext {
   void advance_time(const ValueVector& values);
 
   /// Direct filter write without accounting — simulator/test setup only.
-  void set_filter_free(NodeId i, const Filter& f) {
-    nodes_[i].set_filter(f);
-    refresh_violation(i);
-  }
+  void set_filter_free(NodeId i, const Filter& f) { install_filter(i, f); }
 
   /// Installs (or clears, with nullptr) the cross-query probe batching hook;
   /// the sharer must outlive this context. Engine plumbing only.
@@ -153,6 +150,16 @@ class SimContext {
   ProbeSharer* probe_sharer() const { return probe_sharer_; }
 
  private:
+  /// Single write point for node filters: the AoS node copy (node-side
+  /// checks), the SoA bound mirrors (the vectorized sweep), and the
+  /// violation bit move together.
+  void install_filter(NodeId i, const Filter& f) {
+    nodes_[i].set_filter(f);
+    filter_lo_[i] = f.lo;
+    filter_hi_[i] = f.hi;
+    refresh_violation(i);
+  }
+
   /// Re-derives node i's violation bit after a filter or value write.
   void refresh_violation(NodeId i) {
     const std::uint8_t now = nodes_[i].violating() ? 1 : 0;
@@ -169,8 +176,13 @@ class SimContext {
   ProbeSharer* probe_sharer_ = nullptr;
   /// SoA violation bits, kept in sync with every observe / filter write so
   /// the per-step violation sweep reads a dense byte array instead of
-  /// re-evaluating filters through two std::function hops per node.
+  /// re-evaluating filters through two std::function hops per node. The
+  /// bits are recomputed each advance_time by one vectorized filter-bound
+  /// pass (util/simd.hpp) over the SoA bound mirrors below — bit-identical
+  /// to Filter::check per node.
   std::vector<std::uint8_t> violating_;
+  std::vector<double> filter_lo_;  ///< SoA mirror of nodes_[i].filter().lo
+  std::vector<double> filter_hi_;  ///< SoA mirror of nodes_[i].filter().hi
   std::size_t violating_count_ = 0;
   ScratchArena scratch_;  ///< per-step scratch (probe exclusion flags)
 };

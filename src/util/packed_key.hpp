@@ -1,0 +1,68 @@
+// Order-preserving packed sort keys for the rank order.
+//
+// The rank order's comparator — `ranks_above`: value descending, node id
+// ascending on ties — is a strict total order, so any correct sort produces
+// the same unique permutation. Packing one (value, id) pair into a single
+// uint64 makes that comparison a branchless integer compare and unlocks the
+// LSD radix sort in util/radix.hpp for the dense-update fallback:
+//
+//   key = (value << 15) | (0x7FFF − id)
+//
+// Values are ≤ kMaxObservableValue = 2^48 (model/types.hpp), so the shifted
+// value occupies bits 15..63 without overflow, and fleets of up to 2^15
+// nodes embed the id in the low bits — larger fleets take the key+payload
+// pair path in radix.hpp instead. Descending key order is exactly
+// ranks_above order: higher values first, and on equal values the smaller id
+// holds the larger complemented low bits.
+//
+// For *floating-point* keyed orders (filter bounds, offline tooling, and the
+// packed-key encoding tests), `order_key_f64` embeds an IEEE double into a
+// uint64 whose unsigned order matches operator< on NaN-free doubles: the
+// classic sign-flip — flip all bits of negatives, set the sign bit of
+// non-negatives — with −0.0 first normalized to +0.0 so the two zeros stay
+// tied (operator< considers them equal; their raw bit patterns are not).
+// Denormals, ±infinity and exact ties all order correctly (covered in
+// tests/test_packed_key.cpp).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "model/types.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+/// Id bits of the single-word packed rank key.
+inline constexpr unsigned kRankKeyIdBits = 15;
+
+/// Largest fleet whose (value, id) pairs pack into one uint64.
+inline constexpr std::size_t kRankKeyMaxNodes = std::size_t{1} << kRankKeyIdBits;
+
+/// True iff an n-node fleet's rank keys fit the single-word encoding.
+constexpr bool rank_key_packable(std::size_t n) { return n <= kRankKeyMaxNodes; }
+
+/// Packs (value, id); descending uint64 order == ranks_above order.
+inline std::uint64_t rank_key(Value v, NodeId id) {
+  constexpr std::uint64_t id_mask = (std::uint64_t{1} << kRankKeyIdBits) - 1;
+  TOPKMON_ASSERT(v <= kMaxObservableValue && id <= id_mask);
+  return (v << kRankKeyIdBits) | (id_mask - id);
+}
+
+inline Value rank_key_value(std::uint64_t key) { return key >> kRankKeyIdBits; }
+
+inline NodeId rank_key_id(std::uint64_t key) {
+  constexpr std::uint64_t id_mask = (std::uint64_t{1} << kRankKeyIdBits) - 1;
+  return static_cast<NodeId>(id_mask - (key & id_mask));
+}
+
+/// Monotone embedding of NaN-free doubles into uint64: unsigned key order ==
+/// double order, with ±0.0 mapped to the same key (see file comment).
+inline std::uint64_t order_key_f64(double x) {
+  if (x == 0.0) x = 0.0;  // collapse −0.0 onto +0.0: operator< ties them
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  constexpr std::uint64_t sign = std::uint64_t{1} << 63;
+  return (bits & sign) != 0 ? ~bits : bits | sign;
+}
+
+}  // namespace topkmon

@@ -80,4 +80,98 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
   parallel_for(pool, count, body);
 }
 
+namespace {
+
+/// One worker's [begin, end) index range packed into a single atomic word so
+/// claims and steals are lock-free CAS exchanges. A successful CAS against
+/// the *current* value transfers ownership of exactly the indices it names,
+/// so no index is ever run twice or lost, whatever the interleaving.
+using PackedRange = std::uint64_t;
+
+constexpr PackedRange pack_range(std::uint32_t begin, std::uint32_t end) {
+  return (static_cast<PackedRange>(begin) << 32) | end;
+}
+constexpr std::uint32_t range_begin(PackedRange r) {
+  return static_cast<std::uint32_t>(r >> 32);
+}
+constexpr std::uint32_t range_end(PackedRange r) {
+  return static_cast<std::uint32_t>(r);
+}
+
+}  // namespace
+
+void parallel_for_ws(ThreadPool& pool, std::size_t count,
+                     const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    // A single index cannot balance; skip the machinery (and keep callers
+    // on the exact same worker-thread execution the general path uses).
+    parallel_for(pool, 1, body);
+    return;
+  }
+  const std::size_t workers = std::min(pool.thread_count(), count);
+  std::vector<std::atomic<PackedRange>> ranges(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    // Contiguous pre-split: chunk w covers [w·count/W, (w+1)·count/W).
+    const std::uint32_t begin = static_cast<std::uint32_t>(w * count / workers);
+    const std::uint32_t end = static_cast<std::uint32_t>((w + 1) * count / workers);
+    ranges[w].store(pack_range(begin, end), std::memory_order_relaxed);
+  }
+
+  // Claims one index off the front of `r`; returns false when empty.
+  const auto claim_front = [](std::atomic<PackedRange>& r, std::uint32_t* out) {
+    PackedRange cur = r.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t b = range_begin(cur);
+      const std::uint32_t e = range_end(cur);
+      if (b >= e) return false;
+      if (r.compare_exchange_weak(cur, pack_range(b + 1, e),
+                                  std::memory_order_acq_rel)) {
+        *out = b;
+        return true;
+      }
+    }
+  };
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([w, workers, &ranges, &body, &claim_front] {
+      std::uint32_t i = 0;
+      for (;;) {
+        // Drain the own chunk first: contiguous indices, no contention.
+        while (claim_front(ranges[w], &i)) {
+          body(i);
+        }
+        // Steal half of the largest remaining victim range (from its tail,
+        // so the victim keeps its cache-warm front).
+        std::size_t victim = workers;
+        std::uint32_t best = 0;
+        for (std::size_t v = 0; v < workers; ++v) {
+          if (v == w) continue;
+          const PackedRange cur = ranges[v].load(std::memory_order_acquire);
+          const std::uint32_t avail = range_end(cur) - range_begin(cur);
+          if (range_begin(cur) < range_end(cur) && avail > best) {
+            best = avail;
+            victim = v;
+          }
+        }
+        if (victim == workers) return;  // nothing left anywhere
+        PackedRange cur = ranges[victim].load(std::memory_order_acquire);
+        const std::uint32_t b = range_begin(cur);
+        const std::uint32_t e = range_end(cur);
+        if (b >= e) continue;  // drained meanwhile; rescan
+        const std::uint32_t take = (e - b + 1) / 2;
+        if (!ranges[victim].compare_exchange_strong(
+                cur, pack_range(b, e - take), std::memory_order_acq_rel)) {
+          continue;  // lost the race; rescan
+        }
+        // Install the stolen tail as the own chunk (it is empty right now,
+        // and an empty chunk admits no concurrent steal), then loop back to
+        // drain it — other workers may steal from it in turn.
+        ranges[w].store(pack_range(e - take, e), std::memory_order_release);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
 }  // namespace topkmon

@@ -1,12 +1,25 @@
-// Minimal work-stealing-free thread pool + parallel_for.
+// Minimal thread pool + parallel_for, plus a work-stealing indexed loop.
 //
-// Used by the bench harness to evaluate independent experiment cells in
-// parallel. Each cell derives its own Rng stream, so parallel execution is
-// deterministic regardless of scheduling order.
+// Used by the bench harness to evaluate independent experiment (cell×trial)
+// tasks in parallel. Each task derives its own Rng stream, so parallel
+// execution is deterministic regardless of scheduling order.
+//
+// Two loop flavors:
+//   * parallel_for        — one queued closure per index; every claim takes
+//     the pool's global lock. Fine for a handful of long tasks.
+//   * parallel_for_ws     — work-stealing: the index range is pre-split into
+//     one contiguous chunk per worker, workers claim from their own chunk
+//     with a single CAS and steal half of a victim's remaining range when
+//     theirs runs dry. No per-index allocation, no global lock on the claim
+//     path, and skewed per-index costs (one slow cell among many fast ones)
+//     rebalance automatically. The sweep runner's (cell × trial) grid runs
+//     on this.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -52,5 +65,11 @@ void parallel_for(ThreadPool& pool, std::size_t count,
 
 /// Convenience: runs on a transient pool sized to hardware concurrency.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+/// Work-stealing variant (see file comment): every index runs exactly once,
+/// on some pool worker; blocks until done. `body` must not throw. Requires
+/// count < 2^32 (ranges are packed into one atomic word).
+void parallel_for_ws(ThreadPool& pool, std::size_t count,
+                     const std::function<void(std::size_t)>& body);
 
 }  // namespace topkmon

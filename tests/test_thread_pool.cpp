@@ -34,6 +34,46 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   }
 }
 
+TEST(ThreadPool, WorkStealingCoversAllIndicesExactlyOnce) {
+  for (const std::size_t threads : {1ul, 2ul, 3ul, 8ul}) {
+    for (const std::size_t count : {0ul, 1ul, 2ul, 7ul, 64ul, 1000ul}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> hits(count);
+      parallel_for_ws(pool, count, [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, WorkStealingRebalancesSkewedTasks) {
+  // One pathologically slow index at the front of chunk 0: the remaining
+  // indices must still all run (stolen by the other workers) and the loop
+  // must terminate.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  parallel_for_ws(pool, 64, [&](std::size_t i) {
+    if (i == 0) {
+      // Busy-wait until the others prove they are running concurrently, or
+      // enough iterations pass that single-threaded execution also finishes.
+      for (int spin = 0; spin < 1000000 && done.load() < 32; ++spin) {
+      }
+    }
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WorkStealingReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    parallel_for_ws(pool, 100, [&](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
 TEST(ThreadPool, ReusableAcrossBatches) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
