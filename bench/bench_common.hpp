@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_support/runner.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -17,7 +18,11 @@ namespace topkmon::bench {
 
 /// Common CLI: --trials, --steps, --seed, --csv (emit CSV after the table),
 /// --json=<path> (append every emitted table to a machine-readable JSON
-/// file for the perf trajectory), --threads (sweep pool size; 0 = auto).
+/// file for the perf trajectory), --threads (sweep pool size; 0 = auto),
+/// --telemetry[=<path>] (attach the per-phase step profiler to every cell
+/// and write the telemetry JSON document — src/telemetry — at exit; the
+/// scoped timers run ONLY with this flag, keeping default bench runs
+/// perf-identical to a telemetry-less build).
 struct BenchArgs {
   std::size_t trials = 5;
   TimeStep steps = 600;
@@ -25,6 +30,7 @@ struct BenchArgs {
   bool csv = false;
   std::string json;
   std::size_t threads = 0;
+  std::string telemetry;  ///< telemetry JSON path; empty = off
 
   static BenchArgs parse(int argc, char** argv) {
     Flags flags(argc, argv);
@@ -35,9 +41,39 @@ struct BenchArgs {
     a.csv = flags.get_bool("csv", false);
     a.json = flags.get_string("json", "");
     a.threads = flags.get_uint("threads", 0);
+    if (flags.has("telemetry")) {
+      const std::string v = flags.get_string("telemetry", "telemetry.json");
+      a.telemetry = (v.empty() || v == "true") ? "telemetry.json" : v;
+    }
     return a;
   }
 };
+
+/// The binary-wide telemetry sink of a sweep bench: run_sweep calls pass
+/// sweep_sink(args) (null unless --telemetry is set, keeping the default run
+/// profile-free), and main ends with write_telemetry(args, sweep_telemetry(),
+/// source).
+inline telemetry::TelemetrySink& sweep_telemetry() {
+  static telemetry::TelemetrySink sink;
+  return sink;
+}
+
+inline telemetry::TelemetrySink* sweep_sink(const BenchArgs& args) {
+  return args.telemetry.empty() ? nullptr : &sweep_telemetry();
+}
+
+/// Writes the sink as telemetry JSON when --telemetry is set (no-op
+/// otherwise); benches call this once after the last cell.
+inline void write_telemetry(const BenchArgs& args,
+                            const telemetry::TelemetrySink& sink,
+                            std::string_view source) {
+  if (args.telemetry.empty()) return;
+  if (telemetry::write_text_file(args.telemetry,
+                                 telemetry::to_json(sink, source))) {
+    std::cout << "wrote telemetry JSON (" << telemetry::kTelemetrySchema
+              << ") to " << args.telemetry << "\n";
+  }
+}
 
 namespace detail {
 

@@ -37,7 +37,8 @@ struct CellResult {
   TimeStep steps = 0;  ///< measured steps (args.steps × per-cell multiplier)
 };
 
-CellResult run_cell(const HotPathCell& cell, const BenchArgs& args) {
+CellResult run_cell(const HotPathCell& cell, const BenchArgs& args,
+                    telemetry::StepProfiler* profiler) {
   // Small fleets step in microseconds; scale their step count up so every
   // cell's wall time is long enough for the ±tolerance throughput gate to
   // measure code, not scheduler jitter (churn cells pay deterministic
@@ -49,6 +50,9 @@ CellResult run_cell(const HotPathCell& cell, const BenchArgs& args) {
                                          : (cell.churn ? 1 : 16);
   const TimeStep steps = args.steps * mult;
   auto run = bench::make_hotpath_run(cell, args.seed, kWarmupSteps + steps);
+  // Phase timers only on request: the scoped clock reads would dominate the
+  // small-n rows and skew the tolerance gate against a profile-free baseline.
+  run.sim->set_profiler(profiler);
   for (TimeStep t = 0; t < kWarmupSteps; ++t) {
     run.sim->step_with(run.values);
   }
@@ -77,8 +81,11 @@ int main(int argc, char** argv) {
               std::to_string(args.seed) + ")");
   table.header({"n", "workload", "steps", "query-steps/s", "allocs/step", "messages"});
 
+  telemetry::TelemetrySink sink;
+  telemetry::StepProfiler* profiler =
+      args.telemetry.empty() ? nullptr : &sink.profiler();
   for (const HotPathCell& cell : bench::hotpath_grid()) {
-    const CellResult res = run_cell(cell, args);
+    const CellResult res = run_cell(cell, args, profiler);
     std::string allocs_cell;
     if (cell.churn) {
       // Recovery bursts allocate by design; the count is an implementation
@@ -99,5 +106,6 @@ int main(int argc, char** argv) {
                    allocs_cell, std::to_string(res.messages)});
   }
   bench::emit(table, args);
+  bench::write_telemetry(args, sink, "bench_e13");
   return 0;
 }

@@ -37,7 +37,8 @@ struct CellResult {
   TimeStep steps = 0;
 };
 
-CellResult run_cell(const ChurnCell& cell, const BenchArgs& args) {
+CellResult run_cell(const ChurnCell& cell, const BenchArgs& args,
+                    telemetry::StepProfiler* profiler) {
   // Per-cell step multipliers keep every row's wall time in the range where
   // the tolerance gate measures code, not scheduler jitter (osc steps pay
   // protocol rounds and are two orders of magnitude slower than the
@@ -47,6 +48,8 @@ CellResult run_cell(const ChurnCell& cell, const BenchArgs& args) {
                                                             : 8;
   const TimeStep steps = args.steps * mult;
   auto run = bench::make_churn_run(cell, args.seed);
+  // Phase timers only on request (see bench_e13_hotpath.cpp).
+  run.sim->set_profiler(profiler);
   for (TimeStep t = 0; t < kWarmupSteps; ++t) {
     run.sim->step_with(run.vector_for(t));
   }
@@ -81,8 +84,11 @@ int main(int argc, char** argv) {
   table.header({"n", "workload", "steps", "query-steps/s", "messages", "repairs",
                 "rebuilds"});
 
+  telemetry::TelemetrySink sink;
+  telemetry::StepProfiler* profiler =
+      args.telemetry.empty() ? nullptr : &sink.profiler();
   for (const ChurnCell& cell : bench::churn_grid()) {
-    const CellResult res = run_cell(cell, args);
+    const CellResult res = run_cell(cell, args, profiler);
     table.add_row({std::to_string(cell.n), bench::churn_workload_name(cell),
                    std::to_string(res.steps),
                    std::to_string(static_cast<std::uint64_t>(res.steps_per_sec)),
@@ -90,5 +96,6 @@ int main(int argc, char** argv) {
                    std::to_string(res.rebuilds)});
   }
   bench::emit(table, args);
+  bench::write_telemetry(args, sink, "bench_e14");
   return 0;
 }

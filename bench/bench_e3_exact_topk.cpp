@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       cfg.stream.delta = Value{1} << log_delta;
       rows.push_back({std::to_string(log_delta), cfg});
     }
-    const auto results = run_sweep(rows, args.threads);
+    const auto results = run_sweep(rows, args.threads, bench::sweep_sink(args));
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const double log_delta = std::stod(rows[i].label);
       const double bound = 2.0 * std::log2(8.0) + log_delta;
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
       cfg.stream.walk_step = 64;
       rows.push_back({std::to_string(k), cfg});
     }
-    const auto results = run_sweep(rows, args.threads);
+    const auto results = run_sweep(rows, args.threads, bench::sweep_sink(args));
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const double k = std::stod(rows[i].label);
       const double bound = k * std::log2(32.0) + 16.0;
@@ -82,5 +82,6 @@ int main(int argc, char** argv) {
     }
     bench::emit(t, args);
   }
+  bench::write_telemetry(args, bench::sweep_telemetry(), "bench_e3");
   return 0;
 }

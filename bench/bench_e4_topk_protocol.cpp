@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
         rows.push_back({std::string(protocol) + "@" + std::to_string(log_delta), cfg});
       }
     }
-    const auto results = run_sweep(rows, args.threads);
+    const auto results = run_sweep(rows, args.threads, bench::sweep_sink(args));
     const std::size_t half = rows.size() / 2;
     for (std::size_t i = 0; i < half; ++i) {
       const double log_delta = std::stod(rows[i].label.substr(rows[i].label.find('@') + 1));
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       cfg.opt_kind = OptKind::kExact;
       rows.push_back({format_double(eps, 6), cfg});
     }
-    const auto results = run_sweep(rows, args.threads);
+    const auto results = run_sweep(rows, args.threads, bench::sweep_sink(args));
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const double eps = std::stod(rows[i].label);
       t.add_row({rows[i].label, format_double(results[i].messages.mean(), 0),
@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
     }
     bench::emit(t, args);
   }
+  bench::write_telemetry(args, bench::sweep_telemetry(), "bench_e4");
   return 0;
 }

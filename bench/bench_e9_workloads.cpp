@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       rows.push_back({workload + "/" + protocol, cfg});
     }
   }
-  const auto results = run_sweep(rows, args.threads);
+  const auto results = run_sweep(rows, args.threads, bench::sweep_sink(args));
 
   Table t("E9 / Table 9 — all monitors × all workloads (n=32, k=4, ε=0.15, " +
           std::to_string(args.steps) + " steps)");
@@ -61,5 +61,6 @@ int main(int argc, char** argv) {
                format_double(results[i].max_sigma.max(), 0)});
   }
   bench::emit(t, args);
+  bench::write_telemetry(args, bench::sweep_telemetry(), "bench_e9");
   return 0;
 }

@@ -5,13 +5,22 @@ Usage:
   check_bench.py --current bench_e10.json [--current bench_e12.json ...]
                  --baseline bench/bench_baseline.json
                  [--tolerance 0.2] [--metric "query-steps/s"]
-                 [--emit-summary]
+                 [--telemetry telemetry.json ...] [--emit-summary]
   check_bench.py --current bench_e10.json [--current ...]
                  --write-baseline bench/bench_baseline.json
+  check_bench.py --telemetry telemetry.json --emit-summary
 
 --emit-summary appends a markdown current-vs-baseline table (with Δ%) to
 $GITHUB_STEP_SUMMARY — or stdout when unset — so PR reviewers see throughput
 deltas without reading job logs.
+
+--telemetry (repeatable) reads telemetry JSON documents as written by
+`topk_sim --telemetry` or any bench's `--telemetry` flag (schema
+"topkmon.telemetry.v1", src/telemetry) and renders their per-phase step
+profiles into the summary. Unknown schema versions are a hard error (exit 2):
+silently misreading a reshaped document would produce a wrong-but-plausible
+table. With --telemetry alone (no --current), only the telemetry report is
+produced — no baseline gating.
 
 --current may repeat; the files' tables are concatenated (one baseline can
 gate several benches). Rows are matched across files by their key columns
@@ -58,6 +67,11 @@ NOISY_COLUMNS = {"engine ms", "serial ms", "speedup", "ns/step", "query-steps/s"
                  "stale/step", "ratio"}
 
 
+# Telemetry JSON schema versions this script understands (keep in sync with
+# telemetry::kTelemetrySchema in src/telemetry/telemetry.hpp).
+KNOWN_TELEMETRY_SCHEMAS = {"topkmon.telemetry.v1"}
+
+
 def load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
@@ -65,6 +79,53 @@ def load(path: str) -> dict:
     except (OSError, json.JSONDecodeError) as e:
         print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_telemetry(path: str) -> dict:
+    """Loads a telemetry JSON document, hard-failing on unknown schemas."""
+    doc = load(path)
+    schema = doc.get("schema")
+    if schema not in KNOWN_TELEMETRY_SCHEMAS:
+        print(f"check_bench: {path}: unknown telemetry schema {schema!r} "
+              f"(this script understands {sorted(KNOWN_TELEMETRY_SCHEMAS)}); "
+              "refusing to guess at a reshaped document — update "
+              "scripts/check_bench.py alongside telemetry::kTelemetrySchema",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def telemetry_summary_lines(docs: list[tuple[str, dict]]) -> list[str]:
+    """Markdown per-phase timing tables, one per telemetry document."""
+    lines = ["## Telemetry: per-phase step profile", ""]
+    for path, doc in docs:
+        source = doc.get("source", "?")
+        lines.append(f"### {source} (`{path}`)")
+        lines.append("")
+        if not doc.get("telemetry_enabled", True):
+            lines.append("_built with -DTOPKMON_TELEMETRY=OFF — phase timers "
+                         "compiled out_")
+            lines.append("")
+        phases = doc.get("profiler", {}).get("phases", [])
+        if not phases:
+            lines.append("_no phase samples recorded_")
+            lines.append("")
+            continue
+        grand = sum(p.get("total_ns", 0) for p in phases) or 1
+        lines.append("| phase | calls | total ms | ns/call | share |")
+        lines.append("|---|---|---|---|---|")
+        for p in sorted(phases, key=lambda p: -p.get("total_ns", 0)):
+            total_ns = p.get("total_ns", 0)
+            calls = p.get("calls", 0)
+            per_call = total_ns / calls if calls else 0.0
+            lines.append(f"| {p.get('phase', '?')} | {calls} "
+                         f"| {total_ns / 1e6:.2f} | {per_call:.0f} "
+                         f"| {total_ns / grand:.1%} |")
+        lines.append("")
+        lines.append("_shares are of inclusive time (nested phases count into "
+                     "their enclosing scope)_")
+        lines.append("")
+    return lines
 
 
 def row_key(row: dict, metric: str) -> tuple:
@@ -92,13 +153,16 @@ def merge(docs: list[dict]) -> dict:
 
 
 def emit_summary(current: dict, base_rows: dict, metric: str,
-                 failures: list[str]) -> None:
+                 failures: list[str],
+                 telemetry: list[tuple[str, dict]]) -> None:
     """Appends a markdown perf report to $GITHUB_STEP_SUMMARY (stdout when the
     variable is unset, e.g. local runs) so PR reviewers see throughput deltas
     without reading job logs."""
     import os
 
-    lines = ["## Bench results", ""]
+    lines = []
+    if current.get("tables"):
+        lines += ["## Bench results", ""]
     for table in current.get("tables", []):
         title = table.get("title", "")
         rows = table.get("rows", [])
@@ -129,6 +193,8 @@ def emit_summary(current: dict, base_rows: dict, metric: str,
         lines.append(f"**{len(failures)} gate failure(s):**")
         lines.extend(f"- {f}" for f in failures)
         lines.append("")
+    if telemetry:
+        lines.extend(telemetry_summary_lines(telemetry))
     text = "\n".join(lines) + "\n"
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if path:
@@ -140,8 +206,12 @@ def emit_summary(current: dict, base_rows: dict, metric: str,
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--current", required=True, action="append",
+    ap.add_argument("--current", action="append", default=[],
                     help="fresh bench --json output (repeatable)")
+    ap.add_argument("--telemetry", action="append", default=[], metavar="FILE",
+                    help="telemetry JSON document (topk_sim/bench --telemetry "
+                         "output, repeatable); rendered as a per-phase timing "
+                         "table in the summary")
     ap.add_argument("--baseline", help="checked-in baseline to compare against")
     ap.add_argument("--write-baseline", metavar="PATH",
                     help="write/refresh the baseline from --current and exit")
@@ -153,6 +223,24 @@ def main() -> int:
                     help="append a markdown perf table to $GITHUB_STEP_SUMMARY "
                          "(stdout when unset)")
     args = ap.parse_args()
+
+    if not args.current and not args.telemetry:
+        ap.error("at least one of --current / --telemetry is required")
+
+    # Schema-checked up front: a bad telemetry file must fail (exit 2) even
+    # when the bench gate itself would pass.
+    telemetry = [(path, load_telemetry(path)) for path in args.telemetry]
+
+    if not args.current:
+        # Telemetry-only invocation: no gating, just the report.
+        if args.emit_summary:
+            emit_summary({}, {}, args.metric, [], telemetry)
+        for path, doc in telemetry:
+            phases = doc.get("profiler", {}).get("phases", [])
+            print(f"check_bench: {path}: telemetry OK "
+                  f"(source={doc.get('source', '?')}, {len(phases)} active "
+                  f"phases, {len(doc.get('metrics', []))} metrics)")
+        return 0
 
     current = merge([load(path) for path in args.current])
 
@@ -243,7 +331,7 @@ def main() -> int:
     for title in sorted(skipped_titles):
         print(f"check_bench: note: baseline table not in this run, skipped: {title}")
     if args.emit_summary:
-        emit_summary(current, base_rows, args.metric, failures)
+        emit_summary(current, base_rows, args.metric, failures, telemetry)
     if failures:
         print(f"check_bench: FAIL — {len(failures)} issue(s) over {checked} checks:")
         for f in failures:

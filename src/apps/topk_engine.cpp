@@ -4,6 +4,7 @@
 //                 --protocol combined --steps 1000 --threads 8 --seed 42
 //                 [--window 64] [--mixed] [--mixed-windows] [--strict]
 //                 [--no-share] [--per-query] [--markdown]
+//                 [--telemetry[=telemetry.json]] [--telemetry-prom[=telemetry.prom]]
 //                 [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
 //                 [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
 //
@@ -20,6 +21,10 @@
 // Fault flags degrade the fleet (src/faults): churn, stragglers, lossy
 // links — individually or via a named preset; every query observes the same
 // degraded fleet and books its own loss/recovery metrics.
+// `--telemetry` exports the run's metrics registry, per-phase step profile
+// (engine loop + merged per-shard profilers) and per-step timeseries as a
+// versioned JSON document (src/telemetry); `--telemetry-prom` emits the
+// Prometheus text exposition alongside.
 // `--list` enumerates registered protocols, stream kinds and fault presets.
 #include <algorithm>
 #include <iostream>
@@ -28,12 +33,22 @@
 #include "faults/registry.hpp"
 #include "protocols/registry.hpp"
 #include "streams/registry.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 using namespace topkmon;
 
 namespace {
+
+/// Path of an optional-value flag: "" when absent, `def` for the bare flag
+/// (the parser yields "true"), else the given value.
+std::string optional_path_flag(const Flags& flags, const std::string& name,
+                               const std::string& def) {
+  if (!flags.has(name)) return "";
+  const std::string v = flags.get_string(name, def);
+  return (v.empty() || v == "true") ? def : v;
+}
 
 int list_registry() {
   std::cout << "protocols:";
@@ -85,9 +100,18 @@ int main(int argc, char** argv) {
   const bool mixed_windows = flags.get_bool("mixed-windows", false);
   const std::vector<std::size_t> window_cycle{kInfiniteWindow, 16, 64, 256};
 
+  const std::string telemetry_json =
+      optional_path_flag(flags, "telemetry", "telemetry.json");
+  const std::string telemetry_prom =
+      optional_path_flag(flags, "telemetry-prom", "telemetry.prom");
+
   try {
     cfg.faults = make_fleet_schedule(fault_config_from_flags(flags, steps), spec.n);
     MonitoringEngine engine(cfg, make_stream(spec));
+    telemetry::TelemetrySink sink;
+    if (!telemetry_json.empty() || !telemetry_prom.empty()) {
+      engine.attach_telemetry(&sink);
+    }
 
     const std::vector<std::string> mixed_protocols{"combined", "topk_protocol",
                                                    "half_error", "exact_topk"};
@@ -121,6 +145,17 @@ int main(int argc, char** argv) {
     if (flags.get_bool("per-query", false)) {
       const Table per_query = stats.per_query_table("per-query breakdown");
       std::cout << "\n" << (markdown ? per_query.to_markdown() : per_query.to_ascii());
+    }
+    if (!telemetry_json.empty() &&
+        telemetry::write_text_file(telemetry_json,
+                                   telemetry::to_json(sink, "topk_engine"))) {
+      std::cout << "wrote telemetry JSON (" << telemetry::kTelemetrySchema
+                << ") to " << telemetry_json << "\n";
+    }
+    if (!telemetry_prom.empty() &&
+        telemetry::write_text_file(telemetry_prom,
+                                   telemetry::to_prometheus(sink, "topk_engine"))) {
+      std::cout << "wrote Prometheus exposition to " << telemetry_prom << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -4,6 +4,7 @@
 //              --eps 0.15 --sigma 12 --steps 1000 --seed 7 [--opt exact|approx]
 //              [--window 64] [--strict] [--markdown] [--csv]
 //              [--dump-trace out.csv]
+//              [--telemetry[=telemetry.json]] [--telemetry-prom[=telemetry.prom]]
 //              [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
 //              [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
 //
@@ -15,6 +16,10 @@
 // top-k over per-node maxima of the last W steps; 0 (default) keeps the
 // paper's instantaneous semantics, and the OPT/history/--dump-trace then
 // operate on the windowed values the protocol actually saw.
+// `--telemetry` exports the run's metrics registry, per-phase step profile
+// and per-step timeseries as a versioned JSON document (src/telemetry;
+// consumed by scripts/check_bench.py --telemetry); `--telemetry-prom` emits
+// the Prometheus text exposition alongside.
 // `--list` enumerates registered protocols, stream kinds and fault presets.
 #include <iostream>
 
@@ -24,12 +29,22 @@
 #include "sim/simulator.hpp"
 #include "streams/registry.hpp"
 #include "streams/trace_file.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 using namespace topkmon;
 
 namespace {
+
+/// Path of an optional-value flag: "" when absent, `def` for the bare flag
+/// (the parser yields "true"), else the given value.
+std::string optional_path_flag(const Flags& flags, const std::string& name,
+                               const std::string& def) {
+  if (!flags.has(name)) return "";
+  const std::string v = flags.get_string(name, def);
+  return (v.empty() || v == "true") ? def : v;
+}
 
 int list_registry() {
   std::cout << "protocols:";
@@ -73,9 +88,18 @@ int main(int argc, char** argv) {
   const TimeStep steps = static_cast<TimeStep>(flags.get_uint("steps", 1000));
   const std::string protocol = flags.get_string("protocol", "combined");
 
+  const std::string telemetry_json =
+      optional_path_flag(flags, "telemetry", "telemetry.json");
+  const std::string telemetry_prom =
+      optional_path_flag(flags, "telemetry-prom", "telemetry.prom");
+
   try {
     cfg.faults = make_fleet_schedule(fault_config_from_flags(flags, steps), spec.n);
     Simulator sim(cfg, make_stream(spec), make_protocol(protocol));
+    telemetry::TelemetrySink sink;
+    if (!telemetry_json.empty() || !telemetry_prom.empty()) {
+      sim.attach_telemetry(&sink);
+    }
     const RunResult run = sim.run(steps);
 
     Table t("topk_sim — " + protocol + " on " + spec.kind + " (n=" +
@@ -137,6 +161,17 @@ int main(int argc, char** argv) {
       write_trace(path, sim.history());
       std::cout << "wrote observed trace to " << path << " (" << sim.history().size()
                 << " rows)\n";
+    }
+    if (!telemetry_json.empty() &&
+        telemetry::write_text_file(telemetry_json,
+                                   telemetry::to_json(sink, "topk_sim"))) {
+      std::cout << "wrote telemetry JSON (" << telemetry::kTelemetrySchema
+                << ") to " << telemetry_json << "\n";
+    }
+    if (!telemetry_prom.empty() &&
+        telemetry::write_text_file(telemetry_prom,
+                                   telemetry::to_prometheus(sink, "topk_sim"))) {
+      std::cout << "wrote Prometheus exposition to " << telemetry_prom << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -6,7 +6,8 @@
 
 namespace topkmon {
 
-TrialOutcome run_experiment_trial(const ExperimentConfig& cfg, std::size_t trial) {
+TrialOutcome run_experiment_trial(const ExperimentConfig& cfg, std::size_t trial,
+                                  telemetry::StepProfiler* profiler) {
   SimConfig sim_cfg;
   sim_cfg.k = cfg.k;
   sim_cfg.epsilon = cfg.epsilon;
@@ -26,6 +27,7 @@ TrialOutcome run_experiment_trial(const ExperimentConfig& cfg, std::size_t trial
   sim_cfg.faults = trial_fleet_schedule(cfg, trial, spec.n);
 
   Simulator sim(sim_cfg, make_stream(spec), make_protocol(cfg.protocol));
+  sim.set_profiler(profiler);
 
   TrialOutcome out;
   out.run = sim.run(cfg.steps);

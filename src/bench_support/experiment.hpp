@@ -60,8 +60,11 @@ struct TrialOutcome {
   bool has_opt = false;
 };
 
-/// Runs trial `trial` of one cell.
-TrialOutcome run_experiment_trial(const ExperimentConfig& cfg, std::size_t trial);
+/// Runs trial `trial` of one cell. `profiler` (optional) arms per-phase step
+/// profiling on the trial's simulator — a single-writer hook, so concurrent
+/// trials must each pass their own profiler (merge afterwards).
+TrialOutcome run_experiment_trial(const ExperimentConfig& cfg, std::size_t trial,
+                                  telemetry::StepProfiler* profiler = nullptr);
 
 /// Folds one trial into the cell's result. Must be called in trial order —
 /// the single aggregation point shared by run_experiment and the sweep

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <tuple>
 #include <utility>
@@ -61,7 +62,8 @@ struct GroupTrialOutcome {
 /// work is the generator (once per step) and the OPT (once per distinct
 /// (kind, ε') instead of once per cell).
 GroupTrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& cells,
-                                  std::size_t trial) {
+                                  std::size_t trial,
+                                  telemetry::StepProfiler* profiler) {
   const ExperimentConfig& base = *cells.front();
   const std::uint64_t sim_seed = splitmix_combine(base.seed, trial);
 
@@ -75,6 +77,12 @@ GroupTrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& ce
   }
 
   MonitoringEngine engine(ecfg, make_stream(effective_spec(base)));
+  // Profiled sweeps give the trial its own sink (profilers are
+  // single-writer); the caller folds merged_profiler() into the sweep sink.
+  telemetry::TelemetrySink trial_sink;
+  if (profiler != nullptr) {
+    engine.attach_telemetry(&trial_sink);
+  }
   for (const auto* c : cells) {
     QuerySpec q;
     q.protocol = c->protocol;
@@ -90,6 +98,9 @@ GroupTrialOutcome run_group_trial(const std::vector<const ExperimentConfig*>& ce
   // into its own RunResult. Copy the fleet total into each cell so grouped
   // results stay bit-identical to the solo path.
   const std::uint64_t fleet_stale = engine.run(base.steps).stale_reads;
+  if (profiler != nullptr) {
+    profiler->merge(trial_sink.merged_profiler());
+  }
 
   GroupTrialOutcome out;
   out.runs.reserve(cells.size());
@@ -146,7 +157,8 @@ ExperimentResult merge_group_trials(const ExperimentConfig& cfg,
 }  // namespace
 
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepRow>& rows,
-                                        std::size_t threads) {
+                                        std::size_t threads,
+                                        telemetry::TelemetrySink* sink) {
   std::vector<ExperimentResult> results(rows.size());
 
   // Partition rows: groupable cells go through the engine, the rest (unique
@@ -199,19 +211,29 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepRow>& rows,
   }
 
   ThreadPool pool(threads);
+  std::mutex sink_mutex;
   parallel_for_ws(pool, tasks.size(), [&](std::size_t i) {
     const Task task = tasks[i];
+    // Worker-local profiler (single-writer), folded into the shared sink
+    // under a lock after the trial; null stays a no-op end to end.
+    telemetry::StepProfiler local;
+    telemetry::StepProfiler* prof = sink != nullptr ? &local : nullptr;
     if (!task.grouped) {
       solo_outcomes[task.index][task.trial] =
-          run_experiment_trial(rows[solo[task.index]].cfg, task.trial);
-      return;
+          run_experiment_trial(rows[solo[task.index]].cfg, task.trial, prof);
+    } else {
+      std::vector<const ExperimentConfig*> cells;
+      cells.reserve(groups[task.index].size());
+      for (const std::size_t row : groups[task.index]) {
+        cells.push_back(&rows[row].cfg);
+      }
+      group_outcomes[task.index][task.trial] =
+          run_group_trial(cells, task.trial, prof);
     }
-    std::vector<const ExperimentConfig*> cells;
-    cells.reserve(groups[task.index].size());
-    for (const std::size_t row : groups[task.index]) {
-      cells.push_back(&rows[row].cfg);
+    if (sink != nullptr) {
+      const std::lock_guard<std::mutex> lock(sink_mutex);
+      sink->profiler().merge(local);
     }
-    group_outcomes[task.index][task.trial] = run_group_trial(cells, task.trial);
   });
 
   for (std::size_t s = 0; s < solo.size(); ++s) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace topkmon {
@@ -27,8 +28,15 @@ struct SweepRow {
   ExperimentConfig cfg;
 };
 
-/// Runs all rows (cells) on a pool; results returned in row order.
+/// Runs all rows (cells) on a pool; results returned in row order. `sink`
+/// (optional) collects per-phase step profiles: every (cell × trial) task
+/// times its run into a worker-local profiler — solo trials directly,
+/// engine-grouped trials through the engine's own telemetry — and the locals
+/// are merged into the sink's profiler under a lock, so the aggregate is
+/// deterministic in totals regardless of the steal pattern. Results are
+/// bit-identical with or without a sink.
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepRow>& rows,
-                                        std::size_t threads = 0);
+                                        std::size_t threads = 0,
+                                        telemetry::TelemetrySink* sink = nullptr);
 
 }  // namespace topkmon

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "protocols/registry.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
 namespace topkmon {
@@ -117,7 +118,81 @@ void MonitoringEngine::ensure_started() {
   if (threads > 1 && shard_count > 1) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
+  if (telemetry_ != nullptr) {
+    // One single-writer profiler per shard; export merges them with the
+    // engine-loop profiler (TelemetrySink::merged_profiler).
+    telemetry_->resize_shard_profilers(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards_[s].set_profiler(&telemetry_->shard_profiler(s));
+    }
+  }
   started_ = true;
+}
+
+void MonitoringEngine::attach_telemetry(telemetry::TelemetrySink* sink) {
+  TOPKMON_ASSERT(sink != nullptr);
+  TOPKMON_ASSERT_MSG(!started_ && next_t_ == 0,
+                     "telemetry must attach before the first step");
+  telemetry_ = sink;
+  profiler_ = &sink->profiler();
+
+  telemetry::MetricsRegistry& reg = sink->registry();
+  ids_.step = reg.gauge("engine.step");
+  ids_.queries = reg.gauge("engine.queries");
+  ids_.query_messages = reg.counter("engine.query_messages");
+  ids_.shared_probe_messages = reg.counter("engine.shared_probe_messages");
+  ids_.total_messages = reg.counter("engine.total_messages");
+  ids_.probe_calls = reg.counter("engine.probe_calls");
+  ids_.probe_ranks_computed = reg.counter("engine.probe_ranks_computed");
+  ids_.messages_lost = reg.counter("faults.messages_lost");
+  ids_.stale_reads = reg.counter("faults.stale_reads");
+  ids_.recovery_rounds = reg.counter("faults.recovery_rounds");
+  ids_.window_expirations = reg.counter("window.expirations");
+
+  if (sink->timeseries().channel_count() == 0) {
+    sink->timeseries().add_channel("engine.total_messages", ids_.total_messages,
+                                   reg);
+    sink->timeseries().add_channel("engine.shared_probe_messages",
+                                   ids_.shared_probe_messages, reg);
+    sink->timeseries().add_channel("window.expirations", ids_.window_expirations,
+                                   reg);
+  }
+}
+
+void MonitoringEngine::publish_telemetry() {
+  // Aggregates are summed straight off the per-query CommStats and shared
+  // probes — no EngineStats construction (that allocates), no RNG, no
+  // messages — so per-step publishing keeps the step loop allocation-free
+  // and the counters bit-identical.
+  telemetry::MetricsRegistry& reg = telemetry_->registry();
+  std::uint64_t query_messages = 0, messages_lost = 0, recovery_rounds = 0;
+  for (const EngineShard& shard : shards_) {
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      const CommStats& s = shard.sim(i).context().stats();
+      query_messages += s.total();
+      messages_lost += s.messages_lost();
+      recovery_rounds += s.recovery_rounds();
+    }
+  }
+  std::uint64_t probe_messages = 0, probe_calls = 0, ranks = 0;
+  for (const WindowProbe& wp : probes_) {
+    probe_messages += wp.probe->stats().total();
+    messages_lost += wp.probe->stats().messages_lost();
+    probe_calls += wp.probe->calls();
+    ranks += wp.probe->ranks_computed();
+  }
+  reg.set(ids_.step, static_cast<std::uint64_t>(next_t_));
+  reg.set(ids_.queries, specs_.size());
+  reg.set(ids_.query_messages, query_messages);
+  reg.set(ids_.shared_probe_messages, probe_messages);
+  reg.set(ids_.total_messages, query_messages + probe_messages);
+  reg.set(ids_.probe_calls, probe_calls);
+  reg.set(ids_.probe_ranks_computed, ranks);
+  reg.set(ids_.messages_lost, messages_lost);
+  reg.set(ids_.stale_reads, injector_ ? injector_->total_stale() : 0);
+  reg.set(ids_.recovery_rounds, recovery_rounds);
+  reg.set(ids_.window_expirations, step_snapshot_.window_expirations());
+  telemetry_->timeseries().sample(reg, static_cast<std::uint64_t>(next_t_));
 }
 
 void MonitoringEngine::step() {
@@ -126,42 +201,53 @@ void MonitoringEngine::step() {
   // (1) One snapshot per step, shared by all queries, written in place into
   // the fleet's staging buffer. The adaptive-adversary view is query 0's
   // state (see header).
-  if (next_t_ == 0) {
-    gen_->init(fleet_.staging(), gen_rng_);
-  } else {
-    const Simulator& ref = query_sim(0);
-    const AdversaryView view{ref.context().nodes(), &ref.protocol().output(),
-                             ref.config().k, ref.config().epsilon};
-    gen_->step(next_t_, view, fleet_.staging(), gen_rng_);
+  {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kGenerator);
+    if (next_t_ == 0) {
+      gen_->init(fleet_.staging(), gen_rng_);
+    } else {
+      const Simulator& ref = query_sim(0);
+      const AdversaryView view{ref.context().nodes(), &ref.protocol().output(),
+                               ref.config().k, ref.config().epsilon};
+      gen_->step(next_t_, view, fleet_.staging(), gen_rng_);
+    }
   }
 
   // (2) Fault injection on the shared snapshot path: staging keeps the
   // true stream (the generator evolves undisturbed); the fleet — and every
   // query — observes the effective vector.
-  const ValueVector& eff = injector_
-                               ? injector_->transform(next_t_, fleet_.staging(), fleet_)
-                               : fleet_.staging();
+  const ValueVector* eff = &fleet_.staging();
+  if (injector_) {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kFaultInject);
+    eff = &injector_->transform(next_t_, fleet_.staging(), fleet_);
+  }
 
   // (3) Arm the per-step caches — the snapshot advances every windowed view
   // exactly once, and each probe channel points at its window's vector —
   // then advance all shards.
-  step_snapshot_.begin_step(next_t_, eff);
-  if (cfg_.share_probes) {
-    for (WindowProbe& wp : probes_) {
-      wp.probe->begin_step(&step_snapshot_.values(wp.window));
+  {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kSnapshotBegin);
+    step_snapshot_.begin_step(next_t_, *eff);
+    if (cfg_.share_probes) {
+      for (WindowProbe& wp : probes_) {
+        wp.probe->begin_step(&step_snapshot_.values(wp.window));
+      }
     }
   }
   if (pool_) {
     parallel_for(*pool_, shards_.size(),
-                 [&](std::size_t s) { shards_[s].step(step_snapshot_); });
+                 [&](std::size_t s) { shards_[s].advance(step_snapshot_); });
   } else {
     for (auto& shard : shards_) {
-      shard.step(step_snapshot_);
+      shard.advance(step_snapshot_);
     }
   }
 
   if (cfg_.record_history) {
-    history_.push_back(eff);
+    history_.push_back(*eff);
+  }
+  if (telemetry_ != nullptr) {
+    publish_telemetry();
   }
   ++next_t_;
 }

@@ -42,7 +42,13 @@
 #include "faults/schedule.hpp"
 #include "model/fleet_state.hpp"
 #include "sim/stream.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/thread_pool.hpp"
+
+namespace topkmon::telemetry {
+class TelemetrySink;
+}
 
 namespace topkmon {
 
@@ -98,8 +104,18 @@ class MonitoringEngine {
   /// Windowed offline baselines re-window it per W (offline/windowed_opt).
   const std::vector<ValueVector>& history() const { return history_; }
 
+  /// Attaches a telemetry sink: registers the engine's metric namespace
+  /// (engine.*, faults.*, window.*), arms the engine-loop profiler
+  /// (generator / fault-inject / snapshot phases) plus one single-writer
+  /// profiler per shard (Phase::kShardAdvance and the per-simulator inner
+  /// phases), and mirrors aggregates into the registry after every step.
+  /// Must precede the first step; the sink must outlive the engine.
+  /// Publishing only reads existing counters, so results stay bit-identical.
+  void attach_telemetry(telemetry::TelemetrySink* sink);
+
  private:
   void ensure_started();
+  void publish_telemetry();
 
   /// The shared probe channel of one window length: queries with the same W
   /// observe the same windowed fleet, so their probe_top traffic batches;
@@ -137,6 +153,18 @@ class MonitoringEngine {
   TimeStep next_t_ = 0;
   double elapsed_sec_ = 0.0;
   bool started_ = false;
+
+  /// Registry ids of the engine's metric namespace (attach_telemetry).
+  struct TelemetryIds {
+    telemetry::MetricId step, queries;
+    telemetry::MetricId query_messages, shared_probe_messages, total_messages;
+    telemetry::MetricId probe_calls, probe_ranks_computed;
+    telemetry::MetricId messages_lost, stale_reads, recovery_rounds;
+    telemetry::MetricId window_expirations;
+  };
+  telemetry::TelemetrySink* telemetry_ = nullptr;
+  telemetry::StepProfiler* profiler_ = nullptr;  ///< engine-loop phases
+  TelemetryIds ids_{};
 };
 
 }  // namespace topkmon

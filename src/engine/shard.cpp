@@ -12,7 +12,15 @@ void EngineShard::add(QueryHandle handle, std::size_t window,
   sims_.push_back(std::move(sim));
 }
 
-void EngineShard::step(const StepSnapshot& snapshot) {
+void EngineShard::set_profiler(telemetry::StepProfiler* prof) {
+  profiler_ = prof;
+  for (auto& sim : sims_) {
+    sim->set_profiler(prof);
+  }
+}
+
+void EngineShard::advance(const StepSnapshot& snapshot) {
+  TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kShardAdvance);
   if (views_.size() != sims_.size()) {
     // First step: resolve each query's window to its stable view pointer.
     views_.resize(sims_.size());

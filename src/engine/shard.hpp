@@ -18,6 +18,7 @@
 #include "engine/query.hpp"
 #include "engine/snapshot.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace topkmon {
 
@@ -27,7 +28,12 @@ class EngineShard {
 
   /// Advances every owned query by one step on its window's view of the
   /// shared snapshot.
-  void step(const StepSnapshot& snapshot);
+  void advance(const StepSnapshot& snapshot);
+
+  /// Arms per-phase profiling: the shard times its whole advance under
+  /// Phase::kShardAdvance and hands the (single-writer — shards never share
+  /// profilers) profiler to each owned simulator for the inner phases.
+  void set_profiler(telemetry::StepProfiler* prof);
 
   std::size_t size() const { return sims_.size(); }
   QueryHandle handle(std::size_t i) const { return handles_[i]; }
@@ -40,6 +46,7 @@ class EngineShard {
   std::vector<std::unique_ptr<Simulator>> sims_;
   /// Per query: its window's snapshot view, resolved once on the first step.
   std::vector<const StepSnapshot::View*> views_;
+  telemetry::StepProfiler* profiler_ = nullptr;
 };
 
 }  // namespace topkmon

@@ -62,6 +62,7 @@ ExistenceResult SimContext::existence(const std::function<bool(const Node&)>& bi
 }
 
 ExistenceResult SimContext::collect_violations() {
+  TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kViolationCollect);
   if (violating_count_ == 0) {
     // Quiescent fast path: with an empty active set the EXISTENCE schedule
     // runs all rounds in silence and draws no randomness — reproduce its

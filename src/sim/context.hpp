@@ -28,6 +28,7 @@
 #include "protocols/existence.hpp"
 #include "sim/comm_stats.hpp"
 #include "sim/node.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/arena.hpp"
 #include "util/rng.hpp"
 
@@ -149,6 +150,10 @@ class SimContext {
   void set_probe_sharer(ProbeSharer* sharer) { probe_sharer_ = sharer; }
   ProbeSharer* probe_sharer() const { return probe_sharer_; }
 
+  /// Arms (or clears) the per-phase step profiler: collect_violations times
+  /// itself under Phase::kViolationCollect. Simulator plumbing.
+  void set_profiler(telemetry::StepProfiler* prof) { profiler_ = prof; }
+
  private:
   /// Single write point for node filters: the AoS node copy (node-side
   /// checks), the SoA bound mirrors (the vectorized sweep), and the
@@ -174,6 +179,7 @@ class SimContext {
   Rng rng_;
   TimeStep time_ = -1;
   ProbeSharer* probe_sharer_ = nullptr;
+  telemetry::StepProfiler* profiler_ = nullptr;
   /// SoA violation bits, kept in sync with every observe / filter write so
   /// the per-step violation sweep reads a dense byte array instead of
   /// re-evaluating filters through two std::function hops per node. The

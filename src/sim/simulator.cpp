@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "model/oracle.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -61,11 +62,15 @@ void Simulator::step() {
                      "Simulator without generator must be driven via step_with()");
   // The generator writes the raw (true) vector into the fleet's preallocated
   // staging buffer in place.
-  if (next_t_ == 0) {
-    gen_->init(fleet_.staging(), gen_rng_);
-  } else {
-    const AdversaryView view{ctx_.nodes(), &protocol_->output(), cfg_.k, cfg_.epsilon};
-    gen_->step(next_t_, view, fleet_.staging(), gen_rng_);
+  {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kGenerator);
+    if (next_t_ == 0) {
+      gen_->init(fleet_.staging(), gen_rng_);
+    } else {
+      const AdversaryView view{ctx_.nodes(), &protocol_->output(), cfg_.k,
+                               cfg_.epsilon};
+      gen_->step(next_t_, view, fleet_.staging(), gen_rng_);
+    }
   }
   step_with(fleet_.staging());
 }
@@ -75,34 +80,47 @@ void Simulator::step_with(const ValueVector& values) {
   // vector into what the fleet actually observes, in place inside the
   // fleet's effective buffer. (Engine-driven simulators receive
   // pre-transformed snapshots; their injector_ stays null.)
-  const ValueVector* eff =
-      injector_ ? &injector_->transform(next_t_, values, fleet_) : &values;
+  const ValueVector* eff = &values;
+  if (injector_) {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kFaultInject);
+    eff = &injector_->transform(next_t_, values, fleet_);
+  }
   // Standalone windowing: nodes report the maximum of what they observed
   // over the last W steps. (Engine-driven simulators receive pre-windowed
   // snapshots; their fleet owns no window model.)
   if (WindowedValueModel* wm = fleet_.window()) {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kWindowMerge);
     eff = &wm->push(next_t_, *eff);
   }
 
-  ctx_.stats().begin_step();
-  ctx_.advance_time(*eff);
+  {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kAdvanceTime);
+    ctx_.stats().begin_step();
+    ctx_.advance_time(*eff);
+  }
   if (injector_) {
     ctx_.stats().add_stale_reads(injector_->last_stale());
   }
 
-  if (next_t_ == 0) {
-    protocol_->start(ctx_);
-  } else if (faults_ && faults_->membership_changed_at(next_t_)) {
-    protocol_->on_membership_change(ctx_);
-    ctx_.stats().add_recovery();
-  } else if (window_view_ && window_view_->last_expirations() > 0) {
-    protocol_->on_window_expiry(ctx_);
-  } else {
-    protocol_->on_step(ctx_);
+  {
+    // Protocol rounds (nested collect_violations time is additionally
+    // attributed to kViolationCollect — shares are of inclusive time).
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kProtocol);
+    if (next_t_ == 0) {
+      protocol_->start(ctx_);
+    } else if (faults_ && faults_->membership_changed_at(next_t_)) {
+      protocol_->on_membership_change(ctx_);
+      ctx_.stats().add_recovery();
+    } else if (window_view_ && window_view_->last_expirations() > 0) {
+      protocol_->on_window_expiry(ctx_);
+    } else {
+      protocol_->on_step(ctx_);
+    }
   }
 
   std::size_t sigma;
   if (sigma_hook_) {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kSigma);
     sigma = sigma_hook_(cfg_.k, cfg_.epsilon);
   } else {
     // Incremental order maintenance: quiescent steps cost one diff pass and
@@ -114,7 +132,11 @@ void Simulator::step_with(const ValueVector& values) {
     // Oracle::ranking performed, so rank identity costs nothing extra on the
     // paths that matter.
     TopKOrder& order = fleet_.order();
-    order.update(*eff);
+    {
+      TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kOrderUpdate);
+      order.update(*eff);
+    }
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kSigma);
     sigma = order.sigma(cfg_.k, cfg_.epsilon);
   }
   max_sigma_ = std::max(max_sigma_, sigma);
@@ -123,9 +145,79 @@ void Simulator::step_with(const ValueVector& values) {
     history_.push_back(*eff);
   }
   if (cfg_.strict) {
+    TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kStrictValidate);
     validate_strict(*eff);
   }
+  if (telemetry_ != nullptr) {
+    publish_telemetry(sigma);
+  }
   ++next_t_;
+}
+
+void Simulator::attach_telemetry(telemetry::TelemetrySink* sink) {
+  TOPKMON_ASSERT(sink != nullptr);
+  TOPKMON_ASSERT_MSG(next_t_ == 0, "telemetry must attach before the first step");
+  telemetry_ = sink;
+  set_profiler(&sink->profiler());
+
+  telemetry::MetricsRegistry& reg = sink->registry();
+  ids_.messages = reg.counter("comm.messages");
+  ids_.node_to_server = reg.counter("comm.node_to_server");
+  ids_.server_to_node = reg.counter("comm.server_to_node");
+  ids_.broadcasts = reg.counter("comm.broadcasts");
+  for (std::size_t t = 0; t < kNumMessageTags; ++t) {
+    ids_.by_tag[t] =
+        reg.counter("comm.tag." + to_string(static_cast<MessageTag>(t)));
+  }
+  ids_.rounds = reg.counter("comm.rounds");
+  ids_.messages_lost = reg.counter("faults.messages_lost");
+  ids_.stale_reads = reg.counter("faults.stale_reads");
+  ids_.recovery_rounds = reg.counter("faults.recovery_rounds");
+  ids_.window_expirations = reg.counter("window.expirations");
+  ids_.order_repairs = reg.counter("order.repairs");
+  ids_.order_rebuilds = reg.counter("order.rebuilds");
+  ids_.step = reg.gauge("sim.step");
+  ids_.sigma = reg.gauge("sim.sigma");
+  ids_.violating = reg.gauge("sim.violating");
+  ids_.messages_per_step = reg.histogram("comm.messages_per_step");
+
+  // Default timeseries channels — unless the owner already chose its own.
+  if (sink->timeseries().channel_count() == 0) {
+    sink->timeseries().add_channel("comm.messages", ids_.messages, reg);
+    sink->timeseries().add_channel("comm.rounds", ids_.rounds, reg);
+    sink->timeseries().add_channel("sim.sigma", ids_.sigma, reg);
+    sink->timeseries().add_channel("sim.violating", ids_.violating, reg);
+  }
+}
+
+void Simulator::publish_telemetry(std::size_t sigma) {
+  // Mirrors the existing deterministic counters into the registry by relaxed
+  // stores — no RNG draw, no message, no allocation — so attaching telemetry
+  // cannot perturb results.
+  telemetry::MetricsRegistry& reg = telemetry_->registry();
+  const CommStats& s = ctx_.stats();
+  reg.set(ids_.messages, s.total());
+  reg.set(ids_.node_to_server, s.by_kind(MessageKind::kNodeToServer));
+  reg.set(ids_.server_to_node, s.by_kind(MessageKind::kServerToNode));
+  reg.set(ids_.broadcasts, s.by_kind(MessageKind::kBroadcast));
+  for (std::size_t t = 0; t < kNumMessageTags; ++t) {
+    reg.set(ids_.by_tag[t], s.by_tag(static_cast<MessageTag>(t)));
+  }
+  reg.set(ids_.rounds, s.total_rounds());
+  reg.set(ids_.messages_lost, s.messages_lost());
+  reg.set(ids_.stale_reads, s.stale_reads());
+  reg.set(ids_.recovery_rounds, s.recovery_rounds());
+  reg.set(ids_.window_expirations,
+          window_view_ ? window_view_->total_expirations() : 0);
+  if (const TopKOrder* order = fleet_.order_if_ready()) {
+    reg.set(ids_.order_repairs, order->repairs());
+    reg.set(ids_.order_rebuilds, order->rebuilds());
+  }
+  reg.set(ids_.step, static_cast<std::uint64_t>(next_t_));
+  reg.set(ids_.sigma, sigma);
+  reg.set(ids_.violating, ctx_.violating_count());
+  reg.observe(ids_.messages_per_step, s.messages_this_step());
+  telemetry_->timeseries().sample(reg, static_cast<std::uint64_t>(next_t_));
 }
 
 void Simulator::validate_strict(const ValueVector& values) {

@@ -28,8 +28,14 @@
 #include "sim/context.hpp"
 #include "sim/protocol.hpp"
 #include "sim/stream.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
+
+namespace topkmon::telemetry {
+class TelemetrySink;
+}
 
 namespace topkmon {
 
@@ -151,8 +157,30 @@ class Simulator {
   /// The window model in effect (owned or engine-shared); null = unwindowed.
   const WindowedValueModel* window_model() const { return window_view_; }
 
+  // ---- telemetry (src/telemetry) ------------------------------------------
+
+  /// Attaches a telemetry sink: registers this simulator's metric namespace
+  /// (comm.*, faults.*, window.*, order.*, sim.*) in the sink's registry,
+  /// adds the default timeseries channels (unless the sink already has
+  /// channels), arms the per-phase step profiler, and mirrors current values
+  /// into the registry after every step. Setup only — must precede the first
+  /// step; the sink must outlive the simulator. Publishing reads existing
+  /// counters (no RNG, no extra messages) and allocates nothing in steady
+  /// state, so results stay bit-identical with telemetry attached.
+  void attach_telemetry(telemetry::TelemetrySink* sink);
+
+  /// Arms only the per-phase step profiler — the lighter hook benches and
+  /// engine shards use. attach_telemetry() implies this with the sink's own
+  /// profiler. Null detaches.
+  void set_profiler(telemetry::StepProfiler* prof) {
+    profiler_ = prof;
+    ctx_.set_profiler(prof);
+  }
+  telemetry::StepProfiler* profiler() const { return profiler_; }
+
  private:
   void validate_strict(const ValueVector& values);
+  void publish_telemetry(std::size_t sigma);
 
   SimConfig cfg_;
   std::unique_ptr<StreamGenerator> gen_;
@@ -168,6 +196,19 @@ class Simulator {
   ScratchArena strict_arena_;  ///< lazy validator scratch (strict mode only)
   std::size_t max_sigma_ = 0;
   TimeStep next_t_ = 0;
+
+  /// Registry ids of the simulator's metric namespace (attach_telemetry).
+  struct TelemetryIds {
+    telemetry::MetricId messages, node_to_server, server_to_node, broadcasts;
+    std::array<telemetry::MetricId, kNumMessageTags> by_tag;
+    telemetry::MetricId rounds, messages_lost, stale_reads, recovery_rounds;
+    telemetry::MetricId window_expirations, order_repairs, order_rebuilds;
+    telemetry::MetricId step, sigma, violating;
+    telemetry::MetricId messages_per_step;  ///< histogram
+  };
+  telemetry::TelemetrySink* telemetry_ = nullptr;
+  telemetry::StepProfiler* profiler_ = nullptr;
+  TelemetryIds ids_{};
 };
 
 }  // namespace topkmon

@@ -1,49 +1,91 @@
 #include "sim/trace.hpp"
 
-#include <sstream>
+#include <cstring>
 
 namespace topkmon {
 
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kPhase: return "phase";
+    case TraceCategory::kViolation: return "violation";
+    case TraceCategory::kInterval: return "interval";
+    case TraceCategory::kRecovery: return "recovery";
+    case TraceCategory::kWindow: return "window";
+    case TraceCategory::kProbe: return "probe";
+    case TraceCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+std::string TraceEvent::render() const {
+  std::string out = "t=" + std::to_string(time) + " [";
+  out += to_string(category);
+  out += "] ";
+  out += detail;
+  return out;
+}
+
 void Trace::set_capacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Rebuild the ring at the new size, keeping the newest events (matches the
+  // old trim-on-shrink semantics).
+  std::vector<TraceEvent> next(capacity);
+  const std::size_t keep = count_ < capacity ? count_ : capacity;
+  for (std::size_t i = 0; i < keep; ++i) {
+    // i-th newest, oldest of the kept block first.
+    const std::size_t src = (head_ + ring_.size() - keep + i) % ring_.size();
+    next[i] = ring_[src];
+  }
+  ring_ = std::move(next);
+  head_ = keep % (capacity == 0 ? 1 : capacity);
+  count_ = keep;
   capacity_.store(capacity, std::memory_order_relaxed);
-  trim_locked();
 }
 
-void Trace::emit(TimeStep t, std::string category, std::string detail) {
+void Trace::emit(TimeStep t, TraceCategory category, std::string_view detail) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(TraceEvent{t, std::move(category), std::move(detail)});
-  trim_locked();
+  if (ring_.empty()) return;  // raced with set_capacity(0)
+  TraceEvent& e = ring_[head_];
+  e.time = t;
+  e.category = category;
+  const std::size_t n =
+      detail.size() < kTraceDetailChars - 1 ? detail.size() : kTraceDetailChars - 1;
+  std::memcpy(e.detail, detail.data(), n);
+  e.detail[n] = '\0';
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
 }
 
-void Trace::trim_locked() {
-  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
-  while (events_.size() > cap) {
-    events_.pop_front();
-  }
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
 }
 
 std::vector<TraceEvent> Trace::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return {events_.begin(), events_.end()};
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + ring_.size() - count_ + i) % ring_.size()]);
+  }
+  return out;
 }
 
 std::vector<std::string> Trace::render() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<TraceEvent> events = snapshot();
   std::vector<std::string> out;
-  out.reserve(events_.size());
-  for (const auto& e : events_) {
-    std::ostringstream oss;
-    oss << "t=" << e.time << " [" << e.category << "] " << e.detail;
-    out.push_back(oss.str());
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    out.push_back(e.render());
   }
   return out;
 }
 
 void Trace::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
+  head_ = 0;
+  count_ = 0;
 }
 
 Trace& Trace::global() {

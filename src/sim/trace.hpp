@@ -1,49 +1,78 @@
 // Bounded event trace for debugging and the example binaries.
 //
 // Protocols may emit trace events (phase changes, violations handled,
-// interval updates); the trace keeps the most recent `capacity` events.
-// Disabled (capacity 0) it is a no-op with negligible cost.
+// interval updates); the trace keeps the most recent `capacity` events in a
+// preallocated ring. Disabled (capacity 0) it is a no-op with negligible
+// cost.
+//
+// An event is an enum category plus a fixed-size detail buffer, written in
+// place into its ring slot — emit() allocates nothing and builds no
+// std::string, so tracing can stay enabled next to the step loop's
+// zero-allocation invariant. Formatting is lazy: render() (or
+// TraceEvent::render()) builds the human-readable lines only when asked.
 //
 // Emission is thread-safe: `Trace::global()` is process-wide and the
 // shard-parallel MonitoringEngine advances queries from several worker
 // threads, so emit/render/clear/snapshot serialize on an internal mutex
-// (the enabled() fast path is a single relaxed atomic load). `events()`
-// returns a reference into live storage and is for single-threaded use;
-// concurrent readers should take `snapshot()`.
+// (the enabled() fast path is a single relaxed atomic load). Concurrent
+// readers take `snapshot()`.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/types.hpp"
 
 namespace topkmon {
 
+enum class TraceCategory : std::uint8_t {
+  kPhase = 0,   ///< protocol phase transitions
+  kViolation,   ///< filter violations handled
+  kInterval,    ///< interval / filter-bound updates
+  kRecovery,    ///< membership-change recoveries
+  kWindow,      ///< sliding-window expirations
+  kProbe,       ///< probe / sampling rounds
+  kOther,
+};
+const char* to_string(TraceCategory c);
+
+/// Detail text capacity per event (including the NUL); longer details are
+/// truncated on emit — the slot is fixed so emission never allocates.
+inline constexpr std::size_t kTraceDetailChars = 48;
+
 struct TraceEvent {
   TimeStep time = 0;
-  std::string category;  ///< e.g. "phase", "violation", "interval"
-  std::string detail;
+  TraceCategory category = TraceCategory::kOther;
+  char detail[kTraceDetailChars] = {};  ///< NUL-terminated
+
+  /// Lazy formatting: "t=5 [interval] L=[3,9]".
+  std::string render() const;
 };
 
 class Trace {
  public:
-  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit Trace(std::size_t capacity = 0) { set_capacity(capacity); }
 
+  /// Preallocates the ring (setup phase; may allocate). Shrinking keeps the
+  /// newest events.
   void set_capacity(std::size_t capacity);
   bool enabled() const { return capacity_.load(std::memory_order_relaxed) > 0; }
 
-  void emit(TimeStep t, std::string category, std::string detail);
+  /// Records an event into its preallocated ring slot; `detail` is copied
+  /// (truncated to kTraceDetailChars - 1) — no allocation, no string build.
+  void emit(TimeStep t, TraceCategory category, std::string_view detail = {});
 
-  /// Live storage; external synchronization required while writers exist.
-  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t size() const;
 
-  /// Consistent copy of the current events — safe under concurrent emit().
+  /// Consistent copy of the current events, oldest first — safe under
+  /// concurrent emit().
   std::vector<TraceEvent> snapshot() const;
 
+  /// Formatted lines, oldest first (lazy — cost is paid here, not in emit).
   std::vector<std::string> render() const;
   void clear();
 
@@ -51,11 +80,11 @@ class Trace {
   static Trace& global();
 
  private:
-  void trim_locked();
-
-  std::atomic<std::size_t> capacity_;
+  std::atomic<std::size_t> capacity_{0};
   mutable std::mutex mu_;
-  std::deque<TraceEvent> events_;
+  std::vector<TraceEvent> ring_;  ///< preallocated to capacity
+  std::size_t head_ = 0;          ///< next slot to write
+  std::size_t count_ = 0;         ///< live events (≤ capacity)
 };
 
 }  // namespace topkmon

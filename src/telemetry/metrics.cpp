@@ -1,0 +1,82 @@
+#include "telemetry/metrics.hpp"
+
+namespace topkmon::telemetry {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t scalar_capacity,
+                                 std::size_t histogram_capacity)
+    : scalars_(new std::atomic<std::uint64_t>[scalar_capacity]),
+      hists_(new std::atomic<std::uint64_t>[histogram_capacity * kHistogramRowWidth]),
+      scalar_capacity_(scalar_capacity),
+      histogram_capacity_(histogram_capacity) {
+  names_.reserve(scalar_capacity + histogram_capacity);
+  kinds_.reserve(scalar_capacity + histogram_capacity);
+  slots_.reserve(scalar_capacity + histogram_capacity);
+  for (std::size_t i = 0; i < scalar_capacity_; ++i) {
+    scalars_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < histogram_capacity_ * kHistogramRowWidth; ++i) {
+    hists_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  return register_metric(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::gauge(std::string_view name) {
+  return register_metric(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::histogram(std::string_view name) {
+  return register_metric(name, MetricKind::kHistogram);
+}
+
+MetricId MetricsRegistry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<MetricId>(i);
+  }
+  return kInvalidMetric;
+}
+
+MetricId MetricsRegistry::register_metric(std::string_view name, MetricKind kind) {
+  const MetricId existing = find(name);
+  if (existing != kInvalidMetric) {
+    TOPKMON_ASSERT_MSG(kinds_[existing] == kind,
+                       "metric re-registered with a different kind");
+    return existing;
+  }
+  std::uint32_t slot;
+  if (kind == MetricKind::kHistogram) {
+    TOPKMON_ASSERT_MSG(histogram_count_ < histogram_capacity_,
+                       "MetricsRegistry histogram capacity exhausted");
+    slot = static_cast<std::uint32_t>(histogram_count_++);
+  } else {
+    TOPKMON_ASSERT_MSG(scalar_count_ < scalar_capacity_,
+                       "MetricsRegistry scalar capacity exhausted");
+    slot = static_cast<std::uint32_t>(scalar_count_++);
+  }
+  names_.emplace_back(name);
+  kinds_.push_back(kind);
+  slots_.push_back(slot);
+  return static_cast<MetricId>(names_.size() - 1);
+}
+
+void MetricsRegistry::reset_values() {
+  for (std::size_t i = 0; i < scalar_count_; ++i) {
+    scalars_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < histogram_count_ * kHistogramRowWidth; ++i) {
+    hists_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace topkmon::telemetry

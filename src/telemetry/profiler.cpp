@@ -1,0 +1,50 @@
+#include "telemetry/profiler.hpp"
+
+#include <chrono>
+
+namespace topkmon::telemetry {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kGenerator: return "generator";
+    case Phase::kFaultInject: return "fault_inject";
+    case Phase::kWindowMerge: return "window_merge";
+    case Phase::kAdvanceTime: return "advance_time";
+    case Phase::kProtocol: return "protocol";
+    case Phase::kViolationCollect: return "violation_collect";
+    case Phase::kOrderUpdate: return "order_update";
+    case Phase::kSigma: return "sigma";
+    case Phase::kStrictValidate: return "strict_validate";
+    case Phase::kSnapshotBegin: return "snapshot_begin";
+    case Phase::kShardAdvance: return "shard_advance";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t StepProfiler::grand_total_ns() const {
+  std::uint64_t total = 0;
+  for (const PhaseStats& s : phases_) {
+    total += s.total_ns;
+  }
+  return total;
+}
+
+void StepProfiler::merge(const StepProfiler& other) {
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    phases_[p].total_ns += other.phases_[p].total_ns;
+    phases_[p].calls += other.phases_[p].calls;
+    for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+      phases_[p].hist[b] += other.phases_[p].hist[b];
+    }
+  }
+}
+
+}  // namespace topkmon::telemetry

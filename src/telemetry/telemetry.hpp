@@ -1,0 +1,97 @@
+// TelemetrySink — the bundle a run exports: metrics registry + step profiler
+// + per-step timeseries, with per-shard profiler slots for the engine.
+//
+// One sink serves one run (a Simulator, a MonitoringEngine, a bench cell, or
+// a sweep). The owner registers metrics and channels at setup, attaches the
+// profiler(s) to the step loop, and at the end renders the whole sink as a
+// versioned JSON document (kTelemetrySchema) or Prometheus text exposition.
+// scripts/check_bench.py consumes the JSON (--telemetry) and refuses unknown
+// schema versions, so bump kTelemetrySchema whenever the shape changes.
+//
+// Concurrency: the registry is shared freely (wait-free updates); profilers
+// are single-writer — the engine takes one per shard via shard_profiler(i)
+// and export merges them with the main-loop profiler (merged_profiler()).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace topkmon::telemetry {
+
+/// Version tag of the JSON document; consumers hard-fail on anything else.
+inline constexpr std::string_view kTelemetrySchema = "topkmon.telemetry.v1";
+
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(std::size_t timeseries_capacity = 1024)
+      : timeseries_(timeseries_capacity) {}
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+  /// The main-loop profiler (the simulator's, or the engine's own phases).
+  StepProfiler& profiler() { return profiler_; }
+  const StepProfiler& profiler() const { return profiler_; }
+
+  TimeseriesRecorder& timeseries() { return timeseries_; }
+  const TimeseriesRecorder& timeseries() const { return timeseries_; }
+
+  /// Engine plumbing: creates `count` single-writer shard profilers. Call
+  /// once, before taking any shard_profiler pointer (a later resize would
+  /// move them).
+  void resize_shard_profilers(std::size_t count) {
+    TOPKMON_ASSERT_MSG(shard_profilers_.empty() || shard_profilers_.size() == count,
+                       "shard profilers are sized once");
+    shard_profilers_.resize(count);
+  }
+  std::size_t shard_profiler_count() const { return shard_profilers_.size(); }
+  StepProfiler& shard_profiler(std::size_t i) { return shard_profilers_[i]; }
+  const StepProfiler& shard_profiler(std::size_t i) const {
+    return shard_profilers_[i];
+  }
+
+  /// Main-loop profiler + every shard profiler, summed (export view).
+  StepProfiler merged_profiler() const {
+    StepProfiler merged;
+    merged.merge(profiler_);
+    for (const StepProfiler& p : shard_profilers_) {
+      merged.merge(p);
+    }
+    return merged;
+  }
+
+  /// Zeroes values, profilers, and timeseries rows; registrations and
+  /// channels survive (sink reuse across bench cells).
+  void reset() {
+    registry_.reset_values();
+    profiler_.reset();
+    for (StepProfiler& p : shard_profilers_) {
+      p.reset();
+    }
+    timeseries_.reset();
+  }
+
+ private:
+  MetricsRegistry registry_;
+  StepProfiler profiler_;
+  std::vector<StepProfiler> shard_profilers_;
+  TimeseriesRecorder timeseries_;
+};
+
+/// Renders the sink as the kTelemetrySchema JSON document. `source` names the
+/// producing binary/run ("topk_sim", "bench_e13", ...).
+std::string to_json(const TelemetrySink& sink, std::string_view source);
+
+/// Renders the sink in Prometheus text exposition format (metrics + per-phase
+/// profiler series; the timeseries has no Prometheus analogue and is JSON-only).
+std::string to_prometheus(const TelemetrySink& sink, std::string_view source);
+
+/// Writes `content` to `path`; returns false (with a stderr warning) on error.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace topkmon::telemetry

@@ -1,0 +1,45 @@
+#include "telemetry/timeseries.hpp"
+
+namespace topkmon::telemetry {
+
+TimeseriesRecorder::TimeseriesRecorder(std::size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity + (capacity & 1)) {}
+
+void TimeseriesRecorder::add_channel(std::string name, MetricId id,
+                                     const MetricsRegistry& registry) {
+  TOPKMON_ASSERT_MSG(count_ == 0, "timeseries channels are fixed once sampling starts");
+  TOPKMON_ASSERT_MSG(registry.kind(id) != MetricKind::kHistogram,
+                     "timeseries channels must be counters or gauges");
+  names_.push_back(std::move(name));
+  ids_.push_back(id);
+}
+
+void TimeseriesRecorder::sample(const MetricsRegistry& registry, std::uint64_t step) {
+  if (ids_.empty() || step % stride_ != 0) return;
+  if (data_.empty()) {
+    data_.assign(capacity_ * row_width(), 0);  // one-time; steady state is free
+  }
+  if (count_ == capacity_) {
+    // Downsample in place: keep every other row (the even strides), double
+    // the stride. capacity_ is even, so the next incoming multiple of the
+    // old stride that survives is exactly capacity_ × stride — the row the
+    // caller is about to record continues the doubled grid seamlessly.
+    const std::size_t w = row_width();
+    for (std::size_t r = 1; r < capacity_ / 2; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        data_[r * w + c] = data_[2 * r * w + c];
+      }
+    }
+    count_ = capacity_ / 2;
+    stride_ *= 2;
+    if (step % stride_ != 0) return;
+  }
+  std::uint64_t* row = &data_[count_ * row_width()];
+  row[0] = step;
+  for (std::size_t c = 0; c < ids_.size(); ++c) {
+    row[1 + c] = registry.value(ids_[c]);
+  }
+  ++count_;
+}
+
+}  // namespace topkmon::telemetry

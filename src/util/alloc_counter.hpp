@@ -2,7 +2,7 @@
 // invariant.
 //
 // The batched hot path (Simulator::step_with, StepSnapshot::begin_step,
-// EngineShard::step) is engineered so a steady-state step performs ZERO heap
+// EngineShard::advance) is engineered so a steady-state step performs ZERO heap
 // allocations: every buffer is preallocated in FleetState / TopKOrder /
 // WindowedValueModel / ScratchArena and reused. This header gives tests and
 // benches the instrument to *prove* that instead of assuming it.

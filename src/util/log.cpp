@@ -1,11 +1,15 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace topkmon {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Relaxed atomic: the level is read on every TOPKMON_LOG check, possibly
+// from engine worker threads, while tests/examples may flip it — each access
+// must be race-free even though no ordering with other data is needed.
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -20,8 +24,12 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {

@@ -9,7 +9,8 @@ namespace topkmon {
 
 enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Process-wide log level; not synchronized (set it before spawning threads).
+/// Process-wide log level; safe to set and read from any thread (the level
+/// is a relaxed atomic under the hood).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

@@ -18,6 +18,7 @@
 #include "model/fleet_state.hpp"
 #include "protocols/registry.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/alloc_counter.hpp"
 #include "util/arena.hpp"
 #include "util/rng.hpp"
@@ -104,6 +105,32 @@ TEST(HotPathAlloc, StragglerSteadyStateIsAllocFree) {
   expect_steady_state_alloc_free(sim, random_values(256, 7), /*warmup=*/16);
 }
 
+// Acceptance criterion of the telemetry subsystem: with a sink attached —
+// registry mirroring, per-phase scoped timers, timeseries sampling all live —
+// the steady-state step still allocates exactly zero times. Registry slots
+// are preallocated, timer records are plain adds, and the timeseries ring
+// allocates once on its first sample (inside warmup) then downsamples in
+// place.
+TEST(HotPathAlloc, TelemetryAttachedStepIsAllocFree) {
+  SKIP_WITHOUT_ALLOC_HOOK();
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.epsilon = 0.1;
+  cfg.seed = 5;
+  cfg.window = 32;  // window expirations feed the registry mirror too
+  Simulator sim(cfg, 256, make_protocol("combined"));
+  telemetry::TelemetrySink sink(/*timeseries_capacity=*/64);
+  sim.attach_telemetry(&sink);
+  // 64-row ring over 248 steps: several in-place downsampling rounds land
+  // inside the measured region.
+  expect_steady_state_alloc_free(sim, random_values(256, 5), /*warmup=*/48);
+  if (telemetry::kTelemetryEnabled) {
+    EXPECT_GT(sink.profiler().calls(telemetry::Phase::kProtocol), 0u);
+  }
+  EXPECT_GT(sink.registry().value(sink.registry().find("comm.messages")), 0u);
+  EXPECT_GT(sink.timeseries().size(), 0u);
+}
+
 /// Minimal constant stream for engine-path tests.
 class ConstStream final : public StreamGenerator {
  public:
@@ -144,6 +171,34 @@ TEST(HotPathAlloc, EngineQuiescentStepIsAllocFree) {
     engine.step();
   }
   EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(HotPathAlloc, EngineWithTelemetryStepIsAllocFree) {
+  SKIP_WITHOUT_ALLOC_HOOK();
+  EngineConfig cfg;
+  cfg.threads = 1;  // inline shards: every allocation lands on this thread
+  cfg.seed = 8;
+  MonitoringEngine engine(cfg, std::make_unique<ConstStream>(random_values(256, 8)));
+  for (std::size_t q = 0; q < 3; ++q) {
+    QuerySpec spec;
+    spec.protocol = "combined";
+    spec.k = 2 + q;
+    spec.epsilon = 0.1;
+    spec.window = q == 2 ? 16 : kInfiniteWindow;
+    engine.add_query(spec);
+  }
+  telemetry::TelemetrySink sink(/*timeseries_capacity=*/32);
+  engine.attach_telemetry(&sink);
+  for (int i = 0; i < 40; ++i) {
+    engine.step();
+  }
+  AllocProbe probe;
+  for (int i = 0; i < 200; ++i) {
+    engine.step();
+  }
+  EXPECT_EQ(probe.delta(), 0u);
+  EXPECT_GT(sink.registry().value(sink.registry().find("engine.total_messages")),
+            0u);
 }
 
 TEST(HotPathAlloc, ScratchArenaReachesSteadyState) {

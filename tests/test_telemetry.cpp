@@ -1,0 +1,364 @@
+// Telemetry subsystem tests: registry concurrency, profiler nesting against
+// a manual clock, timeseries downsampling invariants, export smoke, and the
+// non-perturbation guarantee (attaching telemetry leaves every deterministic
+// run counter bit-identical).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, RegisterLookupAndUpdate) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("comm.messages");
+  const MetricId g = reg.gauge("sim.sigma");
+  const MetricId h = reg.histogram("comm.messages_per_step");
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.find("comm.messages"), c);
+  EXPECT_EQ(reg.find("nope"), kInvalidMetric);
+  EXPECT_EQ(reg.kind(c), MetricKind::kCounter);
+  EXPECT_EQ(reg.name(g), "sim.sigma");
+
+  reg.add(c);
+  reg.add(c, 41);
+  EXPECT_EQ(reg.value(c), 42u);
+  reg.set(g, 7);
+  reg.set(g, 5);
+  EXPECT_EQ(reg.value(g), 5u);
+  reg.observe(h, 0);
+  reg.observe(h, 3);
+  reg.observe(h, 3);
+  EXPECT_EQ(reg.hist_count(h), 3u);
+  EXPECT_EQ(reg.hist_sum(h), 6u);
+  EXPECT_EQ(reg.hist_bucket(h, 0), 1u);                         // v == 0
+  EXPECT_EQ(reg.hist_bucket(h, MetricsRegistry::bucket_of(3)), 2u);
+}
+
+TEST(MetricsRegistry, ReRegisteringSameNameReturnsSameId) {
+  MetricsRegistry reg;
+  const MetricId a = reg.counter("comm.messages");
+  const MetricId b = reg.counter("comm.messages");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("c");
+  const MetricId h = reg.histogram("h");
+  reg.add(c, 9);
+  reg.observe(h, 4);
+  reg.reset_values();
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.value(c), 0u);
+  EXPECT_EQ(reg.hist_count(h), 0u);
+  EXPECT_EQ(reg.hist_sum(h), 0u);
+}
+
+TEST(MetricsRegistry, BucketOfIsLog2) {
+  EXPECT_EQ(MetricsRegistry::bucket_of(0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1), 1u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(2), 2u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(3), 2u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(4), 3u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1023), 10u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1024), 11u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(~std::uint64_t{0}),
+            kHistogramBuckets - 1);  // saturates at the top bucket
+}
+
+// Wait-free hot path: hammer one counter and one histogram from 8 threads;
+// every update must land (run under TSan in CI to prove race-freedom too).
+TEST(MetricsRegistry, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("hammered");
+  const MetricId h = reg.histogram("hammered_hist");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&reg, c, h, w] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        reg.add(c);
+        reg.observe(h, static_cast<std::uint64_t>(w));
+        if (i % 1024 == 0) {
+          (void)reg.value(c);  // concurrent reads are legal
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(reg.value(c), kThreads * kPerThread);
+  EXPECT_EQ(reg.hist_count(h), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    bucket_total += reg.hist_bucket(h, b);
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------- profiler
+
+// Manual clock for deterministic duration tests (ClockFn is a plain function
+// pointer, so the fake state is a file-local global).
+std::uint64_t g_fake_ns = 0;
+std::uint64_t fake_clock() { return g_fake_ns; }
+
+TEST(StepProfiler, ScopedPhaseMeasuresAgainstInjectedClock) {
+  g_fake_ns = 100;
+  StepProfiler prof(&fake_clock);
+  {
+    ScopedPhase scope(&prof, Phase::kProtocol);
+    g_fake_ns = 135;
+  }
+  EXPECT_EQ(prof.total_ns(Phase::kProtocol), 35u);
+  EXPECT_EQ(prof.calls(Phase::kProtocol), 1u);
+  EXPECT_EQ(prof.latency_histogram(Phase::kProtocol)[StepProfiler::bucket_of(35)],
+            1u);
+  EXPECT_EQ(prof.calls(Phase::kSigma), 0u);
+}
+
+TEST(StepProfiler, NestedScopesAttributeInclusiveTime) {
+  g_fake_ns = 0;
+  StepProfiler prof(&fake_clock);
+  {
+    ScopedPhase outer(&prof, Phase::kProtocol);  // starts at 0
+    g_fake_ns = 30;
+    {
+      ScopedPhase inner(&prof, Phase::kViolationCollect);  // starts at 30
+      g_fake_ns = 50;
+    }  // inner: 20 ns
+    g_fake_ns = 80;
+  }  // outer: 80 ns, inclusive of the nested 20
+  EXPECT_EQ(prof.total_ns(Phase::kViolationCollect), 20u);
+  EXPECT_EQ(prof.total_ns(Phase::kProtocol), 80u);
+  EXPECT_EQ(prof.grand_total_ns(), 100u);  // inclusive sums double-count nests
+}
+
+TEST(StepProfiler, NullProfilerScopeIsANoOp) {
+  ScopedPhase scope(nullptr, Phase::kSigma);  // must not crash or read a clock
+  SUCCEED();
+}
+
+TEST(StepProfiler, MergeSumsTotalsCallsAndBuckets) {
+  StepProfiler a;
+  StepProfiler b;
+  a.record(Phase::kSigma, 10);
+  a.record(Phase::kSigma, 12);
+  b.record(Phase::kSigma, 1000);
+  b.record(Phase::kOrderUpdate, 5);
+  a.merge(b);
+  EXPECT_EQ(a.total_ns(Phase::kSigma), 1022u);
+  EXPECT_EQ(a.calls(Phase::kSigma), 3u);
+  EXPECT_EQ(a.total_ns(Phase::kOrderUpdate), 5u);
+  EXPECT_EQ(a.latency_histogram(Phase::kSigma)[StepProfiler::bucket_of(10)], 2u);
+  EXPECT_EQ(a.latency_histogram(Phase::kSigma)[StepProfiler::bucket_of(1000)], 1u);
+  a.reset();
+  EXPECT_EQ(a.grand_total_ns(), 0u);
+}
+
+TEST(StepProfiler, PhaseNamesAreStable) {
+  // Exported names are part of the JSON/Prometheus contract.
+  EXPECT_STREQ(phase_name(Phase::kGenerator), "generator");
+  EXPECT_STREQ(phase_name(Phase::kFaultInject), "fault_inject");
+  EXPECT_STREQ(phase_name(Phase::kProtocol), "protocol");
+  EXPECT_STREQ(phase_name(Phase::kViolationCollect), "violation_collect");
+  EXPECT_STREQ(phase_name(Phase::kOrderUpdate), "order_update");
+  EXPECT_STREQ(phase_name(Phase::kSigma), "sigma");
+  EXPECT_STREQ(phase_name(Phase::kShardAdvance), "shard_advance");
+}
+
+// -------------------------------------------------------------- timeseries
+
+TEST(TimeseriesRecorder, RecordsEveryStepBeforeCapacity) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("c");
+  const MetricId g = reg.gauge("g");
+  TimeseriesRecorder ts(8);
+  ts.add_channel("c", c, reg);
+  ts.add_channel("g", g, reg);
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    reg.add(c, 10);
+    reg.set(g, t * t);
+    ts.sample(reg, t);
+  }
+  EXPECT_EQ(ts.size(), 6u);
+  EXPECT_EQ(ts.stride(), 1u);
+  for (std::size_t r = 0; r < ts.size(); ++r) {
+    EXPECT_EQ(ts.step_at(r), r);
+    EXPECT_EQ(ts.value_at(r, 0), (r + 1) * 10);  // cumulative counter
+    EXPECT_EQ(ts.value_at(r, 1), r * r);         // instantaneous gauge
+  }
+}
+
+TEST(TimeseriesRecorder, DownsamplingInvariants) {
+  MetricsRegistry reg;
+  const MetricId g = reg.gauge("step_echo");
+  TimeseriesRecorder ts(8);
+  ts.add_channel("step_echo", g, reg);
+  constexpr std::uint64_t kSteps = 1000;
+  for (std::uint64_t t = 0; t < kSteps; ++t) {
+    reg.set(g, t);
+    ts.sample(reg, t);
+  }
+  // Row count bounded, stride a power of two.
+  EXPECT_LE(ts.size(), ts.capacity());
+  EXPECT_GT(ts.size(), 0u);
+  EXPECT_EQ(ts.stride() & (ts.stride() - 1), 0u);
+  // Retained steps are exactly the leading multiples of the stride, and each
+  // surviving row still carries the value observed when it was recorded.
+  for (std::size_t r = 0; r < ts.size(); ++r) {
+    EXPECT_EQ(ts.step_at(r), r * ts.stride());
+    EXPECT_EQ(ts.value_at(r, 0), ts.step_at(r));
+  }
+  // The whole run is covered: the last retained step is within one stride of
+  // the end.
+  EXPECT_GE(ts.step_at(ts.size() - 1) + ts.stride(), kSteps);
+}
+
+TEST(TimeseriesRecorder, ResetKeepsChannelsAndReArmsStride) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("c");
+  TimeseriesRecorder ts(4);
+  ts.add_channel("c", c, reg);
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    ts.sample(reg, t);
+  }
+  EXPECT_GT(ts.stride(), 1u);
+  ts.reset();
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.stride(), 1u);
+  EXPECT_EQ(ts.channel_count(), 1u);
+  ts.sample(reg, 0);
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TimeseriesRecorder, OddCapacityRoundsUpEven) {
+  TimeseriesRecorder ts(7);
+  EXPECT_EQ(ts.capacity(), 8u);
+  TimeseriesRecorder tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+// ------------------------------------------------------------------ export
+
+TEST(TelemetryExport, JsonCarriesSchemaMetricsPhasesAndRows) {
+  TelemetrySink sink(8);
+  MetricsRegistry& reg = sink.registry();
+  const MetricId c = reg.counter("comm.messages");
+  const MetricId h = reg.histogram("comm.messages_per_step");
+  sink.timeseries().add_channel("comm.messages", c, reg);
+  reg.add(c, 123);
+  reg.observe(h, 9);
+  sink.profiler().record(Phase::kSigma, 512);
+  sink.timeseries().sample(reg, 0);
+
+  const std::string json = to_json(sink, "unit_test");
+  EXPECT_NE(json.find("\"schema\": \"topkmon.telemetry.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("comm.messages"), std::string::npos);
+  EXPECT_NE(json.find("123"), std::string::npos);
+  EXPECT_NE(json.find("\"sigma\""), std::string::npos);
+  EXPECT_NE(json.find("\"timeseries\""), std::string::npos);
+  // Quiet phases are omitted.
+  EXPECT_EQ(json.find("\"fault_inject\""), std::string::npos);
+}
+
+TEST(TelemetryExport, PrometheusExposesMetricsAndPhaseSeries) {
+  TelemetrySink sink;
+  MetricsRegistry& reg = sink.registry();
+  reg.add(reg.counter("comm.messages"), 5);
+  reg.observe(reg.histogram("comm.messages_per_step"), 3);
+  sink.profiler().record(Phase::kProtocol, 64);
+
+  const std::string prom = to_prometheus(sink, "unit_test");
+  EXPECT_NE(prom.find("# TYPE topkmon_comm_messages counter"), std::string::npos);
+  EXPECT_NE(prom.find("topkmon_comm_messages{source=\"unit_test\"} 5"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("topkmon_comm_messages_per_step_count{source=\"unit_test\"} 1"),
+      std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find(
+                "topkmon_phase_total_ns{source=\"unit_test\", phase=\"protocol\"} 64"),
+            std::string::npos);
+}
+
+TEST(TelemetrySink, MergedProfilerSumsMainAndShards) {
+  TelemetrySink sink;
+  sink.profiler().record(Phase::kGenerator, 10);
+  sink.resize_shard_profilers(2);
+  sink.shard_profiler(0).record(Phase::kShardAdvance, 100);
+  sink.shard_profiler(1).record(Phase::kShardAdvance, 200);
+  const StepProfiler merged = sink.merged_profiler();
+  EXPECT_EQ(merged.total_ns(Phase::kGenerator), 10u);
+  EXPECT_EQ(merged.total_ns(Phase::kShardAdvance), 300u);
+  EXPECT_EQ(merged.calls(Phase::kShardAdvance), 2u);
+  sink.reset();
+  EXPECT_EQ(sink.merged_profiler().grand_total_ns(), 0u);
+}
+
+// --------------------------------------------------- non-perturbation check
+
+ValueVector random_values(std::size_t n, Rng& rng) {
+  ValueVector v(n);
+  for (auto& x : v) x = 100000 + rng.below(100000);
+  return v;
+}
+
+// Acceptance criterion: attaching a sink must leave every deterministic run
+// counter bit-identical — publish_telemetry only mirrors existing counters
+// (no RNG draw, no message, no allocation).
+TEST(TelemetryIntegration, AttachedSinkLeavesCountersBitIdentical) {
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.epsilon = 0.1;
+  cfg.seed = 21;
+  cfg.window = 24;
+  Simulator plain(cfg, 128, make_protocol("combined"));
+  Simulator instrumented(cfg, 128, make_protocol("combined"));
+  TelemetrySink sink;
+  instrumented.attach_telemetry(&sink);
+
+  Rng rng(77);
+  for (int t = 0; t < 200; ++t) {
+    const ValueVector v = random_values(128, rng);
+    plain.step_with(v);
+    instrumented.step_with(v);
+  }
+  const RunResult a = plain.result();
+  const RunResult b = instrumented.result();
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.node_to_server, b.node_to_server);
+  EXPECT_EQ(a.server_to_node, b.server_to_node);
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+  EXPECT_EQ(a.by_tag, b.by_tag);
+  EXPECT_EQ(a.max_rounds_per_step, b.max_rounds_per_step);
+  EXPECT_EQ(a.max_sigma, b.max_sigma);
+  EXPECT_EQ(a.window_expirations, b.window_expirations);
+
+  // And the registry mirror agrees with the run result.
+  const MetricsRegistry& reg = sink.registry();
+  EXPECT_EQ(sink.registry().value(reg.find("comm.messages")), b.messages);
+  EXPECT_EQ(sink.registry().value(reg.find("window.expirations")),
+            b.window_expirations);
+  if (kTelemetryEnabled) {
+    EXPECT_GT(sink.profiler().calls(Phase::kProtocol), 0u);
+  }
+  EXPECT_GT(sink.timeseries().size(), 0u);
+}
+
+}  // namespace
+}  // namespace topkmon::telemetry

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -11,50 +13,66 @@ namespace {
 TEST(Trace, DisabledByDefault) {
   Trace t;
   EXPECT_FALSE(t.enabled());
-  t.emit(1, "phase", "A1");
-  EXPECT_TRUE(t.events().empty());
+  t.emit(1, TraceCategory::kPhase, "A1");
+  EXPECT_EQ(t.size(), 0u);
 }
 
 TEST(Trace, RecordsWhenEnabled) {
   Trace t(10);
-  t.emit(1, "phase", "A1");
-  t.emit(2, "violation", "node 3 from-below");
-  ASSERT_EQ(t.events().size(), 2u);
-  EXPECT_EQ(t.events()[0].category, "phase");
-  EXPECT_EQ(t.events()[1].time, 2);
+  t.emit(1, TraceCategory::kPhase, "A1");
+  t.emit(2, TraceCategory::kViolation, "node 3 from-below");
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].category, TraceCategory::kPhase);
+  EXPECT_EQ(events[1].time, 2);
+  EXPECT_STREQ(events[1].detail, "node 3 from-below");
 }
 
 TEST(Trace, BoundedCapacityKeepsNewest) {
   Trace t(3);
   for (int i = 0; i < 10; ++i) {
-    t.emit(i, "e", std::to_string(i));
+    t.emit(i, TraceCategory::kOther, std::to_string(i));
   }
-  ASSERT_EQ(t.events().size(), 3u);
-  EXPECT_EQ(t.events().front().time, 7);
-  EXPECT_EQ(t.events().back().time, 9);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().time, 7);
+  EXPECT_EQ(events.back().time, 9);
 }
 
 TEST(Trace, RenderFormatsLines) {
   Trace t(4);
-  t.emit(5, "interval", "L=[3,9]");
+  t.emit(5, TraceCategory::kInterval, "L=[3,9]");
   const auto lines = t.render();
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0], "t=5 [interval] L=[3,9]");
 }
 
+TEST(Trace, LongDetailTruncatesInsteadOfAllocating) {
+  Trace t(2);
+  const std::string detail(3 * kTraceDetailChars, 'x');
+  t.emit(1, TraceCategory::kOther, detail);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::strlen(events[0].detail), kTraceDetailChars - 1);
+  EXPECT_EQ(std::string(events[0].detail),
+            detail.substr(0, kTraceDetailChars - 1));
+}
+
 TEST(Trace, CapacityShrinkTrims) {
   Trace t(5);
-  for (int i = 0; i < 5; ++i) t.emit(i, "e", "");
+  for (int i = 0; i < 5; ++i) t.emit(i, TraceCategory::kOther, "");
   t.set_capacity(2);
-  EXPECT_EQ(t.events().size(), 2u);
-  EXPECT_EQ(t.events().front().time, 3);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.front().time, 3);
+  EXPECT_EQ(events.back().time, 4);
 }
 
 TEST(Trace, ClearEmpties) {
   Trace t(5);
-  t.emit(0, "e", "");
+  t.emit(0, TraceCategory::kOther, "");
   t.clear();
-  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.size(), 0u);
 }
 
 // Regression: Trace::global() used to be a bare deque — concurrent emission
@@ -69,7 +87,8 @@ TEST(Trace, ConcurrentEmissionIsSafe) {
   for (int w = 0; w < kThreads; ++w) {
     workers.emplace_back([&t, w] {
       for (int i = 0; i < kEventsPerThread; ++i) {
-        t.emit(i, "shard" + std::to_string(w), std::to_string(i));
+        t.emit(i, TraceCategory::kProbe,
+               "shard=" + std::to_string(w) + " i=" + std::to_string(i));
         if (i % 256 == 0) {
           (void)t.snapshot();  // concurrent readers are legal too
         }
@@ -81,27 +100,38 @@ TEST(Trace, ConcurrentEmissionIsSafe) {
   EXPECT_EQ(events.size(), 64u);
   EXPECT_EQ(t.render().size(), 64u);
   for (const auto& e : events) {
-    EXPECT_EQ(e.category.substr(0, 5), "shard");
+    EXPECT_EQ(e.category, TraceCategory::kProbe);
+    EXPECT_EQ(std::string(e.detail).substr(0, 6), "shard=");
   }
 }
 
 TEST(Trace, SnapshotCopiesEvents) {
   Trace t(4);
-  t.emit(1, "a", "x");
+  t.emit(1, TraceCategory::kWindow, "x");
   auto snap = t.snapshot();
-  t.emit(2, "b", "y");
+  t.emit(2, TraceCategory::kRecovery, "y");
   ASSERT_EQ(snap.size(), 1u);
-  EXPECT_EQ(snap[0].category, "a");
-  EXPECT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(snap[0].category, TraceCategory::kWindow);
+  EXPECT_EQ(t.size(), 2u);
 }
 
 TEST(Trace, GlobalSingleton) {
   Trace::global().set_capacity(4);
   Trace::global().clear();
-  Trace::global().emit(1, "g", "x");
-  EXPECT_EQ(Trace::global().events().size(), 1u);
+  Trace::global().emit(1, TraceCategory::kOther, "x");
+  EXPECT_EQ(Trace::global().size(), 1u);
   Trace::global().set_capacity(0);
   Trace::global().clear();
+}
+
+TEST(Trace, CategoryNamesRoundTrip) {
+  EXPECT_STREQ(to_string(TraceCategory::kPhase), "phase");
+  EXPECT_STREQ(to_string(TraceCategory::kViolation), "violation");
+  EXPECT_STREQ(to_string(TraceCategory::kInterval), "interval");
+  EXPECT_STREQ(to_string(TraceCategory::kRecovery), "recovery");
+  EXPECT_STREQ(to_string(TraceCategory::kWindow), "window");
+  EXPECT_STREQ(to_string(TraceCategory::kProbe), "probe");
+  EXPECT_STREQ(to_string(TraceCategory::kOther), "other");
 }
 
 }  // namespace
