@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Two-process (well, 1+N-process) socket smoke of the networked runtime:
+# one topk_coord listening on 127.0.0.1 and N topk_node processes connecting
+# over real TCP. Exercises the whole distributed stack — listen/accept,
+# Hello/Config handshake, per-step lockstep, filter shipping, shutdown —
+# outside the in-process harness the tests use.
+#
+#   scripts/net_smoke.sh [BUILD_DIR] [PORT] [HOSTS]
+#
+# The coordinator exports its telemetry to coord_telemetry.json (validated in
+# CI by scripts/check_bench.py --telemetry). Any nonzero exit — coordinator,
+# node-host, or quiescence failure — fails the script.
+set -euo pipefail
+
+build=${1:-build}
+port=${2:-7421}
+hosts=${3:-2}
+
+"$build"/topk_coord --listen "$port" --hosts "$hosts" \
+  --stream oscillating --n 24 --k 4 --steps 300 --seed 7 \
+  --faults flaky --window 32 \
+  --telemetry=coord_telemetry.json &
+coord_pid=$!
+
+node_pids=()
+for ((h = 0; h < hosts; ++h)); do
+  "$build"/topk_node --connect 127.0.0.1:"$port" \
+    --host-index "$h" --hosts "$hosts" &
+  node_pids+=($!)
+done
+
+status=0
+wait "$coord_pid" || status=$?
+for pid in "${node_pids[@]}"; do
+  wait "$pid" || status=$?
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "net_smoke: FAILED (status $status)" >&2
+  exit "$status"
+fi
+[[ -s coord_telemetry.json ]] || { echo "net_smoke: no telemetry written" >&2; exit 1; }
+echo "net_smoke: OK ($hosts node-hosts over 127.0.0.1:$port)"

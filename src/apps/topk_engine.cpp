@@ -3,7 +3,7 @@
 //   $ topk_engine --q 32 --stream zipf_bursty --n 64 --k 4 --eps 0.1
 //                 --protocol combined --steps 1000 --threads 8 --seed 42
 //                 [--window 64] [--mixed] [--mixed-windows] [--strict]
-//                 [--no-share] [--per-query] [--markdown]
+//                 [--no-share] [--per-query] [--markdown] [--json]
 //                 [--telemetry[=telemetry.json]] [--telemetry-prom[=telemetry.prom]]
 //                 [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
 //                 [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
@@ -25,64 +25,69 @@
 // (engine loop + merged per-shard profilers) and per-step timeseries as a
 // versioned JSON document (src/telemetry); `--telemetry-prom` emits the
 // Prometheus text exposition alongside.
-// `--list` enumerates registered protocols, stream kinds and fault presets.
+// Flag parsing, --help and the --markdown/--csv/--json/--telemetry output
+// semantics are shared with the other binaries via apps/options.hpp.
 #include <algorithm>
 #include <iostream>
 
+#include "apps/options.hpp"
 #include "engine/engine.hpp"
 #include "faults/registry.hpp"
 #include "protocols/registry.hpp"
 #include "streams/registry.hpp"
 #include "telemetry/telemetry.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 using namespace topkmon;
 
-namespace {
-
-/// Path of an optional-value flag: "" when absent, `def` for the bare flag
-/// (the parser yields "true"), else the given value.
-std::string optional_path_flag(const Flags& flags, const std::string& name,
-                               const std::string& def) {
-  if (!flags.has(name)) return "";
-  const std::string v = flags.get_string(name, def);
-  return (v.empty() || v == "true") ? def : v;
-}
-
-int list_registry() {
-  std::cout << "protocols:";
-  for (const auto& p : protocol_names()) std::cout << " " << p;
-  std::cout << "\nstreams:  ";
-  for (const auto& s : stream_kinds()) std::cout << " " << s;
-  std::cout << "\nfaults:   ";
-  for (const auto& f : fault_preset_names()) std::cout << " " << f;
-  std::cout << "\n";
-  return 0;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  if (flags.has("list") || flags.has("help")) {
-    return list_registry();
-  }
-
   StreamSpec spec;
-  spec.kind = flags.get_string("stream", "zipf_bursty");
-  spec.n = flags.get_uint("n", 64);
-  spec.k = flags.get_uint("k", 4);
-  spec.epsilon = flags.get_double("eps", 0.1);
-  spec.delta = flags.get_uint("delta", 1 << 16);
-  spec.sigma = flags.get_uint("sigma", spec.n / 4);
+  spec.kind = "zipf_bursty";
+  spec.n = 64;
+  spec.k = 4;
+  spec.delta = 1 << 16;
 
   EngineConfig cfg;
-  cfg.threads = flags.get_uint("threads", 0);
-  cfg.seed = flags.get_uint("seed", 42);
-  cfg.share_probes = !flags.get_bool("no-share", false);
+  cfg.threads = 0;
+  cfg.seed = 42;
+  std::uint64_t q_count = 32;
+  std::uint64_t steps_flag = 1000;
+  std::string protocol = "combined";
+  std::size_t window = kInfiniteWindow;
+  bool mixed = false;
+  bool mixed_windows = false;
+  bool strict = false;
+  bool no_share = false;
+  bool per_query = false;
+  OutputOptions out;
 
-  const std::size_t q_count = flags.get_uint("q", 32);
+  Options opts("topk_engine", "Q concurrent top-k queries over one fleet");
+  add_stream_options(opts, spec);
+  opts.add_uint("q", &q_count, "number of concurrent queries");
+  opts.add_string("protocol", &protocol, "protocol for all queries (unless --mixed)");
+  opts.note("protocol-eps", "queries' ε when it should differ from the stream's",
+            "=eps");
+  opts.add_size("threads", &cfg.threads, "worker threads (0 = hardware)");
+  opts.add_uint("seed", &cfg.seed, "engine seed");
+  opts.add_uint("steps", &steps_flag, "run length in time steps");
+  opts.add_size("window", &window,
+                "sliding window W in steps (0 = instantaneous)");
+  opts.add_bool("mixed", &mixed, "vary (protocol, k, ε) across queries");
+  opts.add_bool("mixed-windows", &mixed_windows, "cycle window lengths across queries");
+  opts.add_bool("strict", &strict, "assert ε-validity per query every step");
+  opts.add_bool("no-share", &no_share, "disable cross-query probe batching");
+  opts.add_bool("per-query", &per_query, "also print the per-query breakdown");
+  add_fault_options(opts);
+  add_output_options(opts, out);
+
+  switch (opts.parse(argc, argv)) {
+    case Options::ParseResult::kHelp: return 0;
+    case Options::ParseResult::kError: return 1;
+    case Options::ParseResult::kOk: break;
+  }
+  finalize_stream_options(opts, spec, 4);
+  cfg.share_probes = !no_share;
+
   if (q_count == 0) {
     std::cerr << "error: --q must be at least 1\n";
     return 1;
@@ -92,24 +97,15 @@ int main(int argc, char** argv) {
               << ", n=" << spec.n << ")\n";
     return 1;
   }
-  const TimeStep steps = static_cast<TimeStep>(flags.get_uint("steps", 1000));
-  const bool mixed = flags.get_bool("mixed", false);
-  const bool strict = flags.get_bool("strict", false);
-  const std::string protocol = flags.get_string("protocol", "combined");
-  const std::size_t window = flags.get_uint("window", kInfiniteWindow);
-  const bool mixed_windows = flags.get_bool("mixed-windows", false);
+  const TimeStep steps = static_cast<TimeStep>(steps_flag);
   const std::vector<std::size_t> window_cycle{kInfiniteWindow, 16, 64, 256};
 
-  const std::string telemetry_json =
-      optional_path_flag(flags, "telemetry", "telemetry.json");
-  const std::string telemetry_prom =
-      optional_path_flag(flags, "telemetry-prom", "telemetry.prom");
-
   try {
-    cfg.faults = make_fleet_schedule(fault_config_from_flags(flags, steps), spec.n);
+    cfg.faults =
+        make_fleet_schedule(fault_config_from_flags(opts.flags(), steps), spec.n);
     MonitoringEngine engine(cfg, make_stream(spec));
     telemetry::TelemetrySink sink;
-    if (!telemetry_json.empty() || !telemetry_prom.empty()) {
+    if (!out.telemetry_json.empty() || !out.telemetry_prom.empty()) {
       engine.attach_telemetry(&sink);
     }
 
@@ -125,7 +121,7 @@ int main(int argc, char** argv) {
       } else {
         qs.protocol = protocol;
         qs.k = spec.k;
-        qs.epsilon = flags.get_double("protocol-eps", spec.epsilon);
+        qs.epsilon = opts.flags().get_double("protocol-eps", spec.epsilon);
       }
       qs.window = mixed_windows ? window_cycle[q % window_cycle.size()] : window;
       qs.strict = strict;
@@ -139,23 +135,22 @@ int main(int argc, char** argv) {
         " queries on " + spec.kind + " (n=" + std::to_string(spec.n) +
         ", steps=" + std::to_string(steps) + ", threads=" +
         std::to_string(cfg.threads) + ", seed=" + std::to_string(cfg.seed) + ")");
-    const bool markdown = flags.get_bool("markdown", false);
-    std::cout << (markdown ? summary.to_markdown() : summary.to_ascii());
+    print_table(summary, out);
 
-    if (flags.get_bool("per-query", false)) {
-      const Table per_query = stats.per_query_table("per-query breakdown");
-      std::cout << "\n" << (markdown ? per_query.to_markdown() : per_query.to_ascii());
+    if (per_query) {
+      std::cout << "\n";
+      print_table(stats.per_query_table("per-query breakdown"), out);
     }
-    if (!telemetry_json.empty() &&
-        telemetry::write_text_file(telemetry_json,
+    if (!out.telemetry_json.empty() &&
+        telemetry::write_text_file(out.telemetry_json,
                                    telemetry::to_json(sink, "topk_engine"))) {
       std::cout << "wrote telemetry JSON (" << telemetry::kTelemetrySchema
-                << ") to " << telemetry_json << "\n";
+                << ") to " << out.telemetry_json << "\n";
     }
-    if (!telemetry_prom.empty() &&
-        telemetry::write_text_file(telemetry_prom,
+    if (!out.telemetry_prom.empty() &&
+        telemetry::write_text_file(out.telemetry_prom,
                                    telemetry::to_prometheus(sink, "topk_engine"))) {
-      std::cout << "wrote Prometheus exposition to " << telemetry_prom << "\n";
+      std::cout << "wrote Prometheus exposition to " << out.telemetry_prom << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -2,8 +2,8 @@
 //
 //   $ topk_sim --protocol combined --stream oscillating --n 32 --k 4
 //              --eps 0.15 --sigma 12 --steps 1000 --seed 7 [--opt exact|approx]
-//              [--window 64] [--strict] [--markdown] [--csv]
-//              [--dump-trace out.csv]
+//              [--window 64] [--strict] [--markdown] [--csv] [--json]
+//              [--dump-trace[=out.csv]]
 //              [--telemetry[=telemetry.json]] [--telemetry-prom[=telemetry.prom]]
 //              [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
 //              [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
@@ -20,9 +20,11 @@
 // and per-step timeseries as a versioned JSON document (src/telemetry;
 // consumed by scripts/check_bench.py --telemetry); `--telemetry-prom` emits
 // the Prometheus text exposition alongside.
-// `--list` enumerates registered protocols, stream kinds and fault presets.
+// Flag parsing, --help and the --markdown/--csv/--json/--telemetry output
+// semantics are shared with the other binaries via apps/options.hpp.
 #include <iostream>
 
+#include "apps/options.hpp"
 #include "faults/registry.hpp"
 #include "offline/opt.hpp"
 #include "protocols/registry.hpp"
@@ -30,74 +32,62 @@
 #include "streams/registry.hpp"
 #include "streams/trace_file.hpp"
 #include "telemetry/telemetry.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 using namespace topkmon;
 
-namespace {
-
-/// Path of an optional-value flag: "" when absent, `def` for the bare flag
-/// (the parser yields "true"), else the given value.
-std::string optional_path_flag(const Flags& flags, const std::string& name,
-                               const std::string& def) {
-  if (!flags.has(name)) return "";
-  const std::string v = flags.get_string(name, def);
-  return (v.empty() || v == "true") ? def : v;
-}
-
-int list_registry() {
-  std::cout << "protocols:";
-  for (const auto& p : protocol_names()) std::cout << " " << p;
-  std::cout << "\nstreams:  ";
-  for (const auto& s : stream_kinds()) std::cout << " " << s;
-  std::cout << "\nfaults:   ";
-  for (const auto& f : fault_preset_names()) std::cout << " " << f;
-  std::cout << "\n";
-  return 0;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  if (flags.has("list") || flags.has("help")) {
-    return list_registry();
-  }
-
   StreamSpec spec;
-  spec.kind = flags.get_string("stream", "random_walk");
-  spec.n = flags.get_uint("n", 16);
-  spec.k = flags.get_uint("k", 3);
-  spec.epsilon = flags.get_double("eps", 0.1);
-  spec.delta = flags.get_uint("delta", 1 << 20);
-  spec.sigma = flags.get_uint("sigma", spec.n / 2);
-  spec.walk_step = flags.get_uint("walk-step", 64);
-  spec.churn = flags.get_double("churn", 1.0);
-  spec.drift = flags.get_double("drift", 0.0);
-  spec.trace_path = flags.get_string("trace", "");
+  spec.kind = "random_walk";
+  spec.n = 16;
+  spec.k = 3;
+  spec.delta = 1 << 20;
+  spec.walk_step = 64;
 
   SimConfig cfg;
-  cfg.k = spec.k;
-  cfg.epsilon = flags.get_double("protocol-eps", spec.epsilon);
-  cfg.seed = flags.get_uint("seed", 42);
-  cfg.strict = flags.get_bool("strict", true);
-  cfg.window = flags.get_uint("window", kInfiniteWindow);
-  const std::string opt_kind = flags.get_string("opt", "approx");
-  cfg.record_history = opt_kind != "none" || flags.has("dump-trace");
-  const TimeStep steps = static_cast<TimeStep>(flags.get_uint("steps", 1000));
-  const std::string protocol = flags.get_string("protocol", "combined");
+  cfg.seed = 42;
+  cfg.strict = true;
+  cfg.window = kInfiniteWindow;
+  std::string protocol = "combined";
+  std::string opt_kind = "approx";
+  std::uint64_t steps_flag = 1000;
+  std::string dump_trace;
+  OutputOptions out;
 
-  const std::string telemetry_json =
-      optional_path_flag(flags, "telemetry", "telemetry.json");
-  const std::string telemetry_prom =
-      optional_path_flag(flags, "telemetry-prom", "telemetry.prom");
+  Options opts("topk_sim", "one protocol on one workload, vs the offline OPT");
+  add_stream_options(opts, spec);
+  opts.add_string("protocol", &protocol, "monitoring protocol to run");
+  opts.note("protocol-eps", "protocol's ε when it should differ from the stream's",
+            "=eps");
+  opts.add_uint("seed", &cfg.seed, "simulation seed");
+  opts.add_bool("strict", &cfg.strict, "assert ε-validity of F(t) every step");
+  opts.add_size("window", &cfg.window,
+                "sliding window W in steps (0 = instantaneous)");
+  opts.add_string("opt", &opt_kind, "offline baseline: exact, approx or none");
+  opts.note("opt-eps", "ε' for --opt approx", "=protocol-eps");
+  opts.add_uint("steps", &steps_flag, "run length in time steps");
+  opts.add_optional_path("dump-trace", &dump_trace, "trace.csv",
+                         "dump the observed history as CSV");
+  add_fault_options(opts);
+  add_output_options(opts, out);
+
+  switch (opts.parse(argc, argv)) {
+    case Options::ParseResult::kHelp: return 0;
+    case Options::ParseResult::kError: return 1;
+    case Options::ParseResult::kOk: break;
+  }
+  finalize_stream_options(opts, spec, 2);
+  cfg.k = spec.k;
+  cfg.epsilon = opts.flags().get_double("protocol-eps", spec.epsilon);
+  cfg.record_history = opt_kind != "none" || !dump_trace.empty();
+  const TimeStep steps = static_cast<TimeStep>(steps_flag);
 
   try {
-    cfg.faults = make_fleet_schedule(fault_config_from_flags(flags, steps), spec.n);
+    cfg.faults = make_fleet_schedule(fault_config_from_flags(opts.flags(), steps),
+                                     spec.n);
     Simulator sim(cfg, make_stream(spec), make_protocol(protocol));
     telemetry::TelemetrySink sink;
-    if (!telemetry_json.empty() || !telemetry_prom.empty()) {
+    if (!out.telemetry_json.empty() || !out.telemetry_prom.empty()) {
       sim.attach_telemetry(&sink);
     }
     const RunResult run = sim.run(steps);
@@ -125,7 +115,7 @@ int main(int argc, char** argv) {
     }
 
     if (opt_kind != "none") {
-      const double opt_eps = flags.get_double("opt-eps", cfg.epsilon);
+      const double opt_eps = opts.flags().get_double("opt-eps", cfg.epsilon);
       const OptReport opt = opt_kind == "exact"
                                 ? OfflineOpt::exact(sim.history(), cfg.k)
                                 : OfflineOpt::approx(sim.history(), cfg.k, opt_eps);
@@ -141,37 +131,29 @@ int main(int argc, char** argv) {
                                2)});
     }
 
-    const auto& out = sim.protocol().output();
+    const auto& final_out = sim.protocol().output();
     std::string out_str = "{";
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out_str += std::to_string(out[i]) + (i + 1 < out.size() ? ", " : "");
+    for (std::size_t i = 0; i < final_out.size(); ++i) {
+      out_str += std::to_string(final_out[i]) + (i + 1 < final_out.size() ? ", " : "");
     }
     t.add_row({"final output F(T)", out_str + "}"});
 
-    if (flags.get_bool("markdown", false)) {
-      std::cout << t.to_markdown();
-    } else {
-      std::cout << t.to_ascii();
+    print_table(t, out);
+    if (!dump_trace.empty()) {
+      write_trace(dump_trace, sim.history());
+      std::cout << "wrote observed trace to " << dump_trace << " ("
+                << sim.history().size() << " rows)\n";
     }
-    if (flags.get_bool("csv", false)) {
-      std::cout << t.to_csv();
-    }
-    if (flags.has("dump-trace")) {
-      const std::string path = flags.get_string("dump-trace", "trace.csv");
-      write_trace(path, sim.history());
-      std::cout << "wrote observed trace to " << path << " (" << sim.history().size()
-                << " rows)\n";
-    }
-    if (!telemetry_json.empty() &&
-        telemetry::write_text_file(telemetry_json,
+    if (!out.telemetry_json.empty() &&
+        telemetry::write_text_file(out.telemetry_json,
                                    telemetry::to_json(sink, "topk_sim"))) {
       std::cout << "wrote telemetry JSON (" << telemetry::kTelemetrySchema
-                << ") to " << telemetry_json << "\n";
+                << ") to " << out.telemetry_json << "\n";
     }
-    if (!telemetry_prom.empty() &&
-        telemetry::write_text_file(telemetry_prom,
+    if (!out.telemetry_prom.empty() &&
+        telemetry::write_text_file(out.telemetry_prom,
                                    telemetry::to_prometheus(sink, "topk_sim"))) {
-      std::cout << "wrote Prometheus exposition to " << telemetry_prom << "\n";
+      std::cout << "wrote Prometheus exposition to " << out.telemetry_prom << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

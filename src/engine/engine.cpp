@@ -137,6 +137,7 @@ void MonitoringEngine::attach_telemetry(telemetry::TelemetrySink* sink) {
   profiler_ = &sink->profiler();
 
   telemetry::MetricsRegistry& reg = sink->registry();
+  ids_.stats = register_stats_metrics(reg);
   ids_.step = reg.gauge("engine.step");
   ids_.queries = reg.gauge("engine.queries");
   ids_.query_messages = reg.counter("engine.query_messages");
@@ -144,18 +145,14 @@ void MonitoringEngine::attach_telemetry(telemetry::TelemetrySink* sink) {
   ids_.total_messages = reg.counter("engine.total_messages");
   ids_.probe_calls = reg.counter("engine.probe_calls");
   ids_.probe_ranks_computed = reg.counter("engine.probe_ranks_computed");
-  ids_.messages_lost = reg.counter("faults.messages_lost");
-  ids_.stale_reads = reg.counter("faults.stale_reads");
-  ids_.recovery_rounds = reg.counter("faults.recovery_rounds");
-  ids_.window_expirations = reg.counter("window.expirations");
 
   if (sink->timeseries().channel_count() == 0) {
     sink->timeseries().add_channel("engine.total_messages", ids_.total_messages,
                                    reg);
     sink->timeseries().add_channel("engine.shared_probe_messages",
                                    ids_.shared_probe_messages, reg);
-    sink->timeseries().add_channel("window.expirations", ids_.window_expirations,
-                                   reg);
+    sink->timeseries().add_channel("window.expirations",
+                                   ids_.stats.window_expirations, reg);
   }
 }
 
@@ -165,22 +162,26 @@ void MonitoringEngine::publish_telemetry() {
   // messages — so per-step publishing keeps the step loop allocation-free
   // and the counters bit-identical.
   telemetry::MetricsRegistry& reg = telemetry_->registry();
-  std::uint64_t query_messages = 0, messages_lost = 0, recovery_rounds = 0;
+  StatsSnapshot snap;  // POD on the stack — no heap traffic
+  std::uint64_t query_messages = 0;
   for (const EngineShard& shard : shards_) {
     for (std::size_t i = 0; i < shard.size(); ++i) {
       const CommStats& s = shard.sim(i).context().stats();
       query_messages += s.total();
-      messages_lost += s.messages_lost();
-      recovery_rounds += s.recovery_rounds();
+      snap += StatsSnapshot::from(s);
     }
   }
   std::uint64_t probe_messages = 0, probe_calls = 0, ranks = 0;
   for (const WindowProbe& wp : probes_) {
     probe_messages += wp.probe->stats().total();
-    messages_lost += wp.probe->stats().messages_lost();
+    snap += StatsSnapshot::from(wp.probe->stats());
     probe_calls += wp.probe->calls();
     ranks += wp.probe->ranks_computed();
   }
+  snap.messages = query_messages + probe_messages;
+  snap.stale_reads = injector_ ? injector_->total_stale() : 0;
+  snap.window_expirations = step_snapshot_.window_expirations();
+  publish_stats(reg, ids_.stats, snap);
   reg.set(ids_.step, static_cast<std::uint64_t>(next_t_));
   reg.set(ids_.queries, specs_.size());
   reg.set(ids_.query_messages, query_messages);
@@ -188,10 +189,6 @@ void MonitoringEngine::publish_telemetry() {
   reg.set(ids_.total_messages, query_messages + probe_messages);
   reg.set(ids_.probe_calls, probe_calls);
   reg.set(ids_.probe_ranks_computed, ranks);
-  reg.set(ids_.messages_lost, messages_lost);
-  reg.set(ids_.stale_reads, injector_ ? injector_->total_stale() : 0);
-  reg.set(ids_.recovery_rounds, recovery_rounds);
-  reg.set(ids_.window_expirations, step_snapshot_.window_expirations());
   telemetry_->timeseries().sample(reg, static_cast<std::uint64_t>(next_t_));
 }
 

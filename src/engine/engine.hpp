@@ -40,6 +40,7 @@
 #include "engine/stats.hpp"
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "sim/stats_snapshot.hpp"
 #include "model/fleet_state.hpp"
 #include "sim/stream.hpp"
 #include "telemetry/metrics.hpp"
@@ -154,13 +155,13 @@ class MonitoringEngine {
   double elapsed_sec_ = 0.0;
   bool started_ = false;
 
-  /// Registry ids of the engine's metric namespace (attach_telemetry).
+  /// Registry ids of the engine's metric namespace (attach_telemetry): the
+  /// shared StatsSnapshot block plus the engine-specific aggregates.
   struct TelemetryIds {
+    StatsSnapshotIds stats;
     telemetry::MetricId step, queries;
     telemetry::MetricId query_messages, shared_probe_messages, total_messages;
     telemetry::MetricId probe_calls, probe_ranks_computed;
-    telemetry::MetricId messages_lost, stale_reads, recovery_rounds;
-    telemetry::MetricId window_expirations;
   };
   telemetry::TelemetrySink* telemetry_ = nullptr;
   telemetry::StepProfiler* profiler_ = nullptr;  ///< engine-loop phases

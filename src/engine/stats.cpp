@@ -14,6 +14,25 @@ std::string describe(const QuerySpec& spec) {
   return oss.str();
 }
 
+StatsSnapshot EngineStats::totals() const {
+  StatsSnapshot snap;
+  snap.messages = total_messages;
+  for (const QueryStats& q : queries) {
+    snap.node_to_server += q.run.node_to_server;
+    snap.server_to_node += q.run.server_to_node;
+    snap.broadcasts += q.run.broadcasts;
+    for (std::size_t t = 0; t < kNumMessageTags; ++t) {
+      snap.by_tag[t] += q.run.by_tag[t];
+    }
+    snap.rounds += q.run.rounds;
+  }
+  snap.messages_lost = messages_lost;
+  snap.stale_reads = stale_reads;
+  snap.recovery_rounds = recovery_rounds;
+  snap.window_expirations = window_expirations;
+  return snap;
+}
+
 Table EngineStats::per_query_table(const std::string& title) const {
   // The "W" column appears only when some query actually windows, keeping
   // unwindowed serving reports byte-identical to the pre-window engine.

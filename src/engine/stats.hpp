@@ -48,6 +48,13 @@ struct EngineStats {
   double steps_per_sec = 0.0;        ///< engine time steps per wall second
   double query_steps_per_sec = 0.0;  ///< steps × Q per wall second (vs serial)
 
+  /// The engine run folded into the shared StatsSnapshot shape
+  /// (sim/stats_snapshot.hpp): `messages` is total_messages (query + shared
+  /// probe), kinds/tags/rounds are summed over the per-query RunResults, the
+  /// fault/window metrics are the aggregates above. Net counters stay zero —
+  /// the engine is in-process.
+  StatsSnapshot totals() const;
+
   /// Per-query breakdown table.
   Table per_query_table(const std::string& title) const;
 

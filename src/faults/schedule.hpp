@@ -44,6 +44,8 @@ struct FaultConfig {
   double loss = 0.0;                ///< per-message drop probability
   TimeStep horizon = 1000;          ///< steps over which churn is scripted
   std::uint64_t seed = 1;           ///< fault-trace seed (independent of sim seed)
+
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };
 
 /// True iff the config scripts no fault of any kind.

@@ -1,0 +1,47 @@
+#include "net/link.hpp"
+
+namespace topkmon::net {
+
+bool Link::send(const std::vector<std::uint8_t>& frame) {
+  // Scripted outage: every attempt inside the window fails (one retry each);
+  // the first attempt past it delivers and books the reconnect.
+  while (outage_cursor_ < outages_.size()) {
+    const LinkOutage& o = outages_[outage_cursor_];
+    if (attempt_ + 1 <= o.first_attempt) break;  // outage still ahead
+    if (attempt_ >= o.first_attempt + o.attempts) {
+      ++outage_cursor_;  // already past (can happen after loss drops)
+      ++stats_.reconnects;
+      reconnected_ = true;
+      continue;
+    }
+    // Inside the outage: burn the remaining attempts as failed sends.
+    const std::uint64_t end = o.first_attempt + o.attempts;
+    stats_.send_retries += end - attempt_;
+    attempt_ = end;
+    ++outage_cursor_;
+    ++stats_.reconnects;
+    reconnected_ = true;
+  }
+  // Probabilistic loss: geometric number of dropped attempts before the one
+  // that gets through — the frame-level mirror of CommStats::enable_loss
+  // (drops-before-success is geometric in the delivery probability 1−p).
+  if (loss_p_ > 0.0) {
+    const std::uint64_t drops = rng_.geometric(1.0 - loss_p_);
+    stats_.send_retries += drops;
+    attempt_ += drops;
+  }
+  ++attempt_;
+  if (!transport_->send(frame)) return false;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  return true;
+}
+
+bool Link::recv(std::vector<std::uint8_t>& frame) {
+  if (!transport_->recv(frame)) return false;
+  ++stats_.frames_recv;
+  stats_.bytes_recv += frame.size();
+  return true;
+}
+
+}  // namespace topkmon::net

@@ -1,0 +1,91 @@
+// Link — a Transport wrapped with deterministic fault emulation + counters.
+//
+// The transports underneath (net/transport.hpp) are reliable; real links are
+// not. A Link layers the fault model of src/faults on top of the reliable
+// pipe the same way CommStats layers lossy-link accounting on top of the
+// model's reliable primitives:
+//
+//   * probabilistic loss — the FleetSchedule's per-message drop probability
+//     applied per frame: each send draws a geometric number of dropped
+//     attempts from a per-link RNG before the frame gets through. Delivery
+//     stays reliable (the retry loop is immediate), the cost is booked as
+//     `send_retries`. p = 0 performs no draws at all, so loss-free links are
+//     bit-identically free.
+//   * scripted outages — "the next `attempts` send attempts starting at send
+//     ordinal `first_attempt` fail". The sender's retry loop spins through
+//     the outage (each attempt books one retry), delivers on the first
+//     attempt past it, and books one `reconnects`. Outages are scripted by
+//     ordinal, so they are deterministic and always terminate; the
+//     coordinator consumes take_reconnected() to fire the protocol's
+//     membership-recovery hook on the step a link came back.
+//
+// Every delivered frame updates the NetChannelStats block
+// (sim/stats_snapshot.hpp) that flows into RunResult and telemetry.
+//
+// Backoff: attempts are immediate retries — in-process emulation has no
+// reason to sleep. The attempt *count* is the deterministic cost surface the
+// tests pin; wall-clock backoff would only add nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/stats_snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace topkmon::net {
+
+/// One scripted link outage, addressed by send-attempt ordinal (0-based
+/// count of send() calls on this link, *not* wall time or step number).
+struct LinkOutage {
+  std::uint64_t first_attempt = 0;
+  std::uint64_t attempts = 1;
+};
+
+class Link {
+ public:
+  explicit Link(std::unique_ptr<Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  /// Arms per-frame probabilistic loss (accounting-only retransmission).
+  void set_loss(double p, Rng rng) {
+    loss_p_ = p;
+    rng_ = rng;
+  }
+
+  /// Scripts an outage; outages must be added in ascending, non-overlapping
+  /// `first_attempt` order before the link is used.
+  void add_outage(LinkOutage outage) { outages_.push_back(outage); }
+
+  /// Delivers one frame through the emulated faults. False = peer gone.
+  bool send(const std::vector<std::uint8_t>& frame);
+
+  /// Blocks for the next frame. False = peer closed.
+  bool recv(std::vector<std::uint8_t>& frame);
+
+  void close() { transport_->close(); }
+
+  const NetChannelStats& stats() const { return stats_; }
+
+  /// True once per recovered outage: did this link come back since the last
+  /// call? The coordinator polls this per step to trigger protocol recovery.
+  bool take_reconnected() {
+    const bool r = reconnected_;
+    reconnected_ = false;
+    return r;
+  }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+  NetChannelStats stats_;
+  std::vector<LinkOutage> outages_;  ///< ascending by first_attempt
+  std::size_t outage_cursor_ = 0;
+  std::uint64_t attempt_ = 0;  ///< next send-attempt ordinal
+  double loss_p_ = 0.0;
+  Rng rng_{0};
+  bool reconnected_ = false;
+};
+
+}  // namespace topkmon::net

@@ -1,0 +1,187 @@
+#include "net/node_host.hpp"
+
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "model/fleet_state.hpp"
+#include "model/filter.hpp"
+#include "model/window.hpp"
+#include "sim/stream.hpp"
+#include "streams/registry.hpp"
+
+namespace topkmon::net {
+
+/// The deterministic full-fleet workload machinery one host rebuilds from
+/// the Config message. Seeds mirror the standalone Simulator exactly
+/// (generator stream 0x5EED of the master seed), so the values a host
+/// reports are bit-identical to what an in-process run would produce.
+struct NodeHost::State {
+  RunSpec spec;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  std::unique_ptr<StreamGenerator> gen;
+  Rng gen_rng{0};
+  FleetState fleet;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<WindowedValueModel> window;  ///< quiescence-check mirror
+  std::vector<Filter> filters;                 ///< shard entries only
+  OutputSet empty_output;  ///< the AdversaryView target (non-adaptive kinds)
+  TimeStep expected_t = 0;
+  const ValueVector* monitored = nullptr;  ///< this step's windowed view
+
+  State(const ConfigMsg& cfg)
+      : spec(cfg.spec),
+        lo(cfg.shard_lo),
+        hi(cfg.shard_hi),
+        gen(make_stream(cfg.spec.stream)),
+        gen_rng(Rng::derive(cfg.spec.seed, /*stream_id=*/0x5EED)),
+        fleet(cfg.spec.stream.n),
+        filters(cfg.spec.stream.n) {
+    const FleetSchedulePtr schedule =
+        make_fleet_schedule(spec.faults, spec.stream.n);
+    if (schedule) injector = std::make_unique<FaultInjector>(schedule);
+    if (spec.window != kInfiniteWindow) {
+      window = std::make_unique<WindowedValueModel>(spec.stream.n, spec.window);
+    }
+  }
+};
+
+NodeHost::NodeHost(std::unique_ptr<Link> link, std::uint32_t host_index,
+                   std::uint32_t host_count)
+    : link_(std::move(link)), host_index_(host_index), host_count_(host_count) {}
+
+NodeHost::~NodeHost() = default;
+
+int NodeHost::fail(const std::string& why) {
+  error_ = why;
+  link_->close();
+  return 1;
+}
+
+int NodeHost::run() {
+  if (!link_->send(encode(HelloMsg{host_index_, host_count_}))) {
+    return fail("coordinator unreachable (hello)");
+  }
+  std::vector<std::uint8_t> buf;
+  if (!link_->recv(buf)) return fail("coordinator closed before config");
+  try {
+    const Frame f = parse_frame(buf);
+    const ConfigMsg cfg = decode_config(f);
+    const std::string bad = validate_run_spec(cfg.spec);
+    if (!bad.empty()) return fail("invalid run spec: " + bad);
+    if (cfg.shard_lo >= cfg.shard_hi || cfg.shard_hi > cfg.spec.stream.n) {
+      return fail("invalid shard assignment [" + std::to_string(cfg.shard_lo) +
+                  ", " + std::to_string(cfg.shard_hi) + ")");
+    }
+    state_ = std::make_unique<State>(cfg);
+  } catch (const std::exception& e) {
+    return fail(std::string("config rejected: ") + e.what());
+  }
+
+  for (;;) {
+    if (!link_->recv(buf)) return fail("coordinator vanished mid-run");
+    try {
+      const Frame f = parse_frame(buf);
+      switch (f.type) {
+        case MsgType::kStepBegin: {
+          const StepBeginMsg m = decode_step_begin(f);
+          if (!handle_step_begin(m.t)) return 1;
+          break;
+        }
+        case MsgType::kFilterUpdate: {
+          if (!handle_filter_update(decode_filter_update(f))) return 1;
+          break;
+        }
+        case MsgType::kShutdown: {
+          final_stats_ = decode_shutdown(f).stats;
+          link_->close();
+          return 0;
+        }
+        default:
+          return fail("unexpected frame: " + to_string(f.type));
+      }
+    } catch (const std::exception& e) {
+      return fail(std::string("frame error: ") + e.what());
+    }
+  }
+}
+
+bool NodeHost::handle_step_begin(TimeStep t) {
+  State& s = *state_;
+  if (t != s.expected_t) {
+    fail("step out of order: got t=" + std::to_string(t) + ", expected " +
+         std::to_string(s.expected_t));
+    return false;
+  }
+  // Deterministic full-fleet generation — same RNG stream as the standalone
+  // Simulator. The AdversaryView is empty: adaptive kinds are rejected at
+  // spec validation, and every other generator ignores the view.
+  ValueVector& staging = s.fleet.staging();
+  if (t == 0) {
+    s.gen->init(staging, s.gen_rng);
+  } else {
+    const AdversaryView view{{}, &s.empty_output, s.spec.stream.k,
+                             s.spec.stream.epsilon};
+    s.gen->step(t, view, staging, s.gen_rng);
+  }
+  const ValueVector* eff = &staging;
+  std::uint64_t stale = 0;
+  if (s.injector) {
+    eff = &s.injector->transform(t, staging, s.fleet);
+    const auto flags = s.fleet.fault_flags();
+    for (std::uint32_t i = s.lo; i < s.hi; ++i) {
+      stale += (flags[i] & kFaultStale) ? 1 : 0;
+    }
+  }
+  // The monitored view — what the coordinator's protocol sees and assigns
+  // filters against — is the windowed effective vector.
+  s.monitored = s.window ? &s.window->push(t, *eff) : eff;
+
+  ShardValuesMsg msg;
+  msg.t = t;
+  msg.lo = s.lo;
+  msg.values.assign(eff->begin() + s.lo, eff->begin() + s.hi);
+  msg.stale = stale;
+  for (std::uint32_t i = s.lo; i < s.hi; ++i) {
+    msg.violations += s.filters[i].check((*s.monitored)[i]) != Violation::kNone;
+  }
+  if (!link_->send(encode(msg))) {
+    fail("coordinator unreachable (shard values)");
+    return false;
+  }
+  return true;
+}
+
+bool NodeHost::handle_filter_update(const FilterUpdateMsg& m) {
+  State& s = *state_;
+  if (m.t != s.expected_t || s.monitored == nullptr) {
+    fail("filter update out of order at t=" + std::to_string(m.t));
+    return false;
+  }
+  for (const FilterEntry& e : m.filters) {
+    if (e.node < s.lo || e.node >= s.hi) {
+      fail("filter for node " + std::to_string(e.node) + " outside shard");
+      return false;
+    }
+    s.filters[e.node] = Filter{e.lo, e.hi};
+  }
+  // Quiescence: after the step's control phase every shard node's monitored
+  // value must sit inside its filter (the protocols' per-step contract).
+  StepAckMsg ack;
+  ack.t = m.t;
+  for (std::uint32_t i = s.lo; i < s.hi; ++i) {
+    ack.quiescence_errors +=
+        s.filters[i].check((*s.monitored)[i]) != Violation::kNone;
+  }
+  quiescence_errors_ += ack.quiescence_errors;
+  s.monitored = nullptr;
+  ++s.expected_t;
+  if (!link_->send(encode(ack))) {
+    fail("coordinator unreachable (step ack)");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace topkmon::net

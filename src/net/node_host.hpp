@@ -1,0 +1,77 @@
+// NodeHost — the data-plane process of the networked runtime.
+//
+// One node-host owns a contiguous shard [lo, hi) of the fleet. It receives
+// the full RunSpec in the Config handshake (zero workload flags of its own)
+// and then, per step, in lockstep with the coordinator:
+//
+//   1. StepBegin{t}  — runs the deterministic full-fleet generator and fault
+//      injector locally (same seeds as the in-process Simulator, so every
+//      host reproduces the identical effective vector) and slices out its
+//      shard;
+//   2. ShardValues   — reports the shard's effective values plus node-side
+//      observations: stale-read count (kFaultStale flags in the shard) and
+//      current filter violations;
+//   3. FilterUpdate  — installs the filter deltas the coordinator's protocol
+//      assigned to this shard, then checks quiescence: every shard node's
+//      monitored (windowed) value must lie inside its fresh filter;
+//   4. StepAck       — reports the quiescence verdict.
+//
+// Why full-fleet generation on every host: generators are cheap and
+// deterministic, and running them whole keeps the RNG stream identical to
+// the standalone Simulator (bit-identical values without any cross-host
+// value exchange). Only the shard slice ever crosses the wire.
+//
+// Windowing: the coordinator owns the authoritative window model (its
+// Simulator windows the assembled vector exactly as a standalone one would).
+// The node-host keeps its own window model purely to evaluate filter
+// quiescence against the same monitored values the protocol sees.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/link.hpp"
+#include "net/wire.hpp"
+#include "sim/stats_snapshot.hpp"
+
+namespace topkmon::net {
+
+class NodeHost {
+ public:
+  /// `link` connects to the coordinator; `host_index` ∈ [0, host_count).
+  NodeHost(std::unique_ptr<Link> link, std::uint32_t host_index,
+           std::uint32_t host_count);
+  ~NodeHost();
+
+  /// Handshake + step loop until Shutdown. 0 on clean shutdown; nonzero on
+  /// protocol/link errors (see error()).
+  int run();
+
+  /// The coordinator's final aggregate stats (valid after a clean run()).
+  const StatsSnapshot& final_stats() const { return final_stats_; }
+
+  /// This link's transport counters.
+  const NetChannelStats& link_stats() const { return link_->stats(); }
+
+  /// Quiescence errors this host reported across the run.
+  std::uint64_t quiescence_errors() const { return quiescence_errors_; }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  struct State;  ///< workload machinery built from the Config message
+
+  int fail(const std::string& why);
+  bool handle_step_begin(TimeStep t);
+  bool handle_filter_update(const FilterUpdateMsg& m);
+
+  std::unique_ptr<Link> link_;
+  std::uint32_t host_index_;
+  std::uint32_t host_count_;
+  std::unique_ptr<State> state_;
+  StatsSnapshot final_stats_;
+  std::uint64_t quiescence_errors_ = 0;
+  std::string error_;
+};
+
+}  // namespace topkmon::net

@@ -1,0 +1,234 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace topkmon::net {
+
+// ---------------------------------------------------------------- loopback
+
+namespace {
+
+/// One direction of a loopback channel: a closable blocking frame queue.
+class FrameQueue {
+ public:
+  bool push(const std::vector<std::uint8_t>& frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      frames_.push_back(frame);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  bool pop(std::vector<std::uint8_t>& frame) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !frames_.empty(); });
+    if (frames_.empty()) return false;  // closed and drained
+    frame = std::move(frames_.front());
+    frames_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<std::uint8_t>> frames_;
+  bool closed_ = false;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<FrameQueue> out, std::shared_ptr<FrameQueue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~LoopbackTransport() override { close(); }
+
+  bool send(const std::vector<std::uint8_t>& frame) override {
+    return out_->push(frame);
+  }
+
+  bool recv(std::vector<std::uint8_t>& frame) override { return in_->pop(frame); }
+
+  void close() override {
+    // Closing one end unblocks both directions: the peer's recv drains then
+    // reports shutdown, and its sends start failing.
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<FrameQueue> out_;
+  std::shared_ptr<FrameQueue> in_;
+};
+
+}  // namespace
+
+TransportPair make_loopback_pair() {
+  auto a_to_b = std::make_shared<FrameQueue>();
+  auto b_to_a = std::make_shared<FrameQueue>();
+  TransportPair pair;
+  pair.a = std::make_unique<LoopbackTransport>(a_to_b, b_to_a);
+  pair.b = std::make_unique<LoopbackTransport>(b_to_a, a_to_b);
+  return pair;
+}
+
+// ---------------------------------------------------------------- tcp
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // 0 = orderly close
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpTransport() override { close(); }
+
+  bool send(const std::vector<std::uint8_t>& frame) override {
+    if (fd_ < 0 || frame.empty()) return false;
+    return write_all(fd_, frame.data(), frame.size());
+  }
+
+  bool recv(std::vector<std::uint8_t>& frame) override {
+    if (fd_ < 0) return false;
+    // The frame's own length prefix delimits it on the stream: 4 bytes of
+    // length, then length more. The returned buffer is the complete frame
+    // (prefix included) so parse_frame treats both backends identically.
+    std::uint8_t head[4];
+    if (!read_all(fd_, head, 4)) return false;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(head[i]) << (8 * i);
+    // A frame claiming >64 MiB is corruption, not a real message.
+    if (len < 4 || len > (64u << 20)) return false;
+    frame.resize(std::size_t{4} + len);
+    std::memcpy(frame.data(), head, 4);
+    return read_all(fd_, frame.data() + 4, len);
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::listen(std::uint16_t port, const std::string& bind_addr) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return false;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    close();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close();
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+std::unique_ptr<Transport> TcpListener::accept() {
+  if (fd_ < 0) return nullptr;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpTransport>(fd);
+    if (errno != EINTR) return nullptr;
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return std::make_unique<TcpTransport>(fd);
+    }
+    if (errno != EINTR) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+}
+
+}  // namespace topkmon::net

@@ -1,0 +1,83 @@
+// Transport — frame-oriented, blocking, reliable byte transports.
+//
+// The networked runtime moves whole wire frames (net/wire.hpp) between the
+// coordinator and its node-hosts. Transport is the seam between the protocol
+// logic and the actual byte movement, with two backends:
+//
+//   * loopback — a pair of in-process queues (mutex + condvar). Used by the
+//     in-process runtime harness and the tests: same code paths as the
+//     socket backend, zero sockets, deterministic, TSan-clean.
+//   * tcp      — real POSIX stream sockets over 127.0.0.1 or the network.
+//     Frames are delimited by their own length prefix: the receiver reads
+//     the 4-byte length, then the rest, and hands back one complete frame.
+//
+// Both backends are blocking and reliable (loss/outage emulation lives one
+// layer up, in net/link.hpp, where it can be deterministic). send()/recv()
+// return false when the peer is gone — shutdown, not an exception, because
+// peer departure is an expected event on every run's last frame.
+//
+// Thread contract: one sender and one receiver may use a transport
+// concurrently (the coordinator sends StepBegin while a node's reply is in
+// flight), but each direction is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace topkmon::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers one complete frame. False = peer closed / connection dead.
+  virtual bool send(const std::vector<std::uint8_t>& frame) = 0;
+
+  /// Blocks for the next complete frame. False = peer closed (orderly end).
+  virtual bool recv(std::vector<std::uint8_t>& frame) = 0;
+
+  /// Unblocks both directions; subsequent send/recv fail.
+  virtual void close() = 0;
+};
+
+/// The two ends of an in-process bidirectional channel: whatever one end
+/// sends, the other receives, in order. Destroying either end closes both.
+struct TransportPair {
+  std::unique_ptr<Transport> a;
+  std::unique_ptr<Transport> b;
+};
+
+TransportPair make_loopback_pair();
+
+/// Listening TCP socket (IPv4). Port 0 binds an ephemeral port — query the
+/// actual one with port(). Not copyable; closes on destruction.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds + listens on `port` (0 = ephemeral) at `bind_addr`. False on
+  /// failure (errno preserved) — sandboxed environments may forbid sockets.
+  bool listen(std::uint16_t port, const std::string& bind_addr = "127.0.0.1");
+
+  /// The bound port (valid after a successful listen()).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next inbound connection; null on failure/close.
+  std::unique_ptr<Transport> accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port; null on failure (errno preserved).
+std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace topkmon::net

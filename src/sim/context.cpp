@@ -140,6 +140,11 @@ std::vector<SimContext::ProbeResult> SimContext::probe_top(std::size_t m) {
 void SimContext::advance_time(const ValueVector& values) {
   const std::size_t n = nodes_.size();
   TOPKMON_ASSERT(values.size() == n);
+  if (track_filters_) {
+    // The dirty set describes one protocol step; a new observation vector
+    // starts the next one.
+    clear_dirty_filters();
+  }
   // The range guard is one vectorized max scan instead of a per-node branch;
   // it also certifies the exactness precondition of the violation pass's
   // u64 → double lane conversion.

@@ -154,6 +154,27 @@ class SimContext {
   /// itself under Phase::kViolationCollect. Simulator plumbing.
   void set_profiler(telemetry::StepProfiler* prof) { profiler_ = prof; }
 
+  // ---- filter-change tracking (net runtime plumbing) ----------------------
+
+  /// Arms per-step dirty-filter tracking: every install_filter (unicast,
+  /// broadcast rule, or free write) records the node id, deduped, until the
+  /// next advance_time clears the set. The networked coordinator (src/net)
+  /// consumes the set to ship filter deltas to node-hosts. Off by default —
+  /// untracked contexts pay nothing. Buffers are preallocated here, so
+  /// tracked steady-state steps stay allocation-free.
+  void enable_filter_tracking() {
+    if (!track_filters_) {
+      track_filters_ = true;
+      filter_dirty_mark_.assign(nodes_.size(), 0);
+      filter_dirty_ids_.reserve(nodes_.size());
+    }
+  }
+  bool filter_tracking() const { return track_filters_; }
+
+  /// Node ids whose filter changed since the last advance_time (valid only
+  /// with tracking enabled; unspecified order, each id at most once).
+  const std::vector<NodeId>& dirty_filters() const { return filter_dirty_ids_; }
+
  private:
   /// Single write point for node filters: the AoS node copy (node-side
   /// checks), the SoA bound mirrors (the vectorized sweep), and the
@@ -163,6 +184,18 @@ class SimContext {
     filter_lo_[i] = f.lo;
     filter_hi_[i] = f.hi;
     refresh_violation(i);
+    if (track_filters_ && !filter_dirty_mark_[i]) {
+      filter_dirty_mark_[i] = 1;
+      filter_dirty_ids_.push_back(i);
+    }
+  }
+
+  /// Drops the dirty-filter set (tracking enabled only).
+  void clear_dirty_filters() {
+    for (const NodeId i : filter_dirty_ids_) {
+      filter_dirty_mark_[i] = 0;
+    }
+    filter_dirty_ids_.clear();
   }
 
   /// Re-derives node i's violation bit after a filter or value write.
@@ -190,6 +223,9 @@ class SimContext {
   std::vector<double> filter_lo_;  ///< SoA mirror of nodes_[i].filter().lo
   std::vector<double> filter_hi_;  ///< SoA mirror of nodes_[i].filter().hi
   std::size_t violating_count_ = 0;
+  bool track_filters_ = false;  ///< dirty-filter tracking armed (net runtime)
+  std::vector<std::uint8_t> filter_dirty_mark_;  ///< per-node dedup bits
+  std::vector<NodeId> filter_dirty_ids_;         ///< ids installed this step
   ScratchArena scratch_;  ///< per-step scratch (probe exclusion flags)
 };
 

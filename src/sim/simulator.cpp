@@ -108,7 +108,10 @@ void Simulator::step_with(const ValueVector& values) {
     TOPKMON_PHASE_SCOPE(profiler_, telemetry::Phase::kProtocol);
     if (next_t_ == 0) {
       protocol_->start(ctx_);
-    } else if (faults_ && faults_->membership_changed_at(next_t_)) {
+      force_recovery_ = false;  // start() already (re)validates everything
+    } else if ((faults_ && faults_->membership_changed_at(next_t_)) ||
+               force_recovery_) {
+      force_recovery_ = false;
       protocol_->on_membership_change(ctx_);
       ctx_.stats().add_recovery();
     } else if (window_view_ && window_view_->last_expirations() > 0) {
@@ -161,19 +164,7 @@ void Simulator::attach_telemetry(telemetry::TelemetrySink* sink) {
   set_profiler(&sink->profiler());
 
   telemetry::MetricsRegistry& reg = sink->registry();
-  ids_.messages = reg.counter("comm.messages");
-  ids_.node_to_server = reg.counter("comm.node_to_server");
-  ids_.server_to_node = reg.counter("comm.server_to_node");
-  ids_.broadcasts = reg.counter("comm.broadcasts");
-  for (std::size_t t = 0; t < kNumMessageTags; ++t) {
-    ids_.by_tag[t] =
-        reg.counter("comm.tag." + to_string(static_cast<MessageTag>(t)));
-  }
-  ids_.rounds = reg.counter("comm.rounds");
-  ids_.messages_lost = reg.counter("faults.messages_lost");
-  ids_.stale_reads = reg.counter("faults.stale_reads");
-  ids_.recovery_rounds = reg.counter("faults.recovery_rounds");
-  ids_.window_expirations = reg.counter("window.expirations");
+  ids_.stats = register_stats_metrics(reg);
   ids_.order_repairs = reg.counter("order.repairs");
   ids_.order_rebuilds = reg.counter("order.rebuilds");
   ids_.step = reg.gauge("sim.step");
@@ -183,8 +174,8 @@ void Simulator::attach_telemetry(telemetry::TelemetrySink* sink) {
 
   // Default timeseries channels — unless the owner already chose its own.
   if (sink->timeseries().channel_count() == 0) {
-    sink->timeseries().add_channel("comm.messages", ids_.messages, reg);
-    sink->timeseries().add_channel("comm.rounds", ids_.rounds, reg);
+    sink->timeseries().add_channel("comm.messages", ids_.stats.messages, reg);
+    sink->timeseries().add_channel("comm.rounds", ids_.stats.rounds, reg);
     sink->timeseries().add_channel("sim.sigma", ids_.sigma, reg);
     sink->timeseries().add_channel("sim.violating", ids_.violating, reg);
   }
@@ -196,19 +187,9 @@ void Simulator::publish_telemetry(std::size_t sigma) {
   // cannot perturb results.
   telemetry::MetricsRegistry& reg = telemetry_->registry();
   const CommStats& s = ctx_.stats();
-  reg.set(ids_.messages, s.total());
-  reg.set(ids_.node_to_server, s.by_kind(MessageKind::kNodeToServer));
-  reg.set(ids_.server_to_node, s.by_kind(MessageKind::kServerToNode));
-  reg.set(ids_.broadcasts, s.by_kind(MessageKind::kBroadcast));
-  for (std::size_t t = 0; t < kNumMessageTags; ++t) {
-    reg.set(ids_.by_tag[t], s.by_tag(static_cast<MessageTag>(t)));
-  }
-  reg.set(ids_.rounds, s.total_rounds());
-  reg.set(ids_.messages_lost, s.messages_lost());
-  reg.set(ids_.stale_reads, s.stale_reads());
-  reg.set(ids_.recovery_rounds, s.recovery_rounds());
-  reg.set(ids_.window_expirations,
-          window_view_ ? window_view_->total_expirations() : 0);
+  publish_stats(
+      reg, ids_.stats,
+      StatsSnapshot::from(s, window_view_ ? window_view_->total_expirations() : 0));
   if (const TopKOrder* order = fleet_.order_if_ready()) {
     reg.set(ids_.order_repairs, order->repairs());
     reg.set(ids_.order_rebuilds, order->rebuilds());
@@ -257,20 +238,11 @@ RunResult Simulator::run(TimeStep steps) {
 RunResult Simulator::result() const {
   RunResult r;
   const auto& s = ctx_.stats();
-  r.messages = s.total();
-  r.node_to_server = s.by_kind(MessageKind::kNodeToServer);
-  r.server_to_node = s.by_kind(MessageKind::kServerToNode);
-  r.broadcasts = s.by_kind(MessageKind::kBroadcast);
-  for (std::size_t t = 0; t < kNumMessageTags; ++t) {
-    r.by_tag[t] = s.by_tag(static_cast<MessageTag>(t));
-  }
+  static_cast<StatsSnapshot&>(r) = StatsSnapshot::from(
+      s, window_view_ ? window_view_->total_expirations() : 0);
   r.steps = s.steps();
   r.max_rounds_per_step = s.max_rounds_per_step();
   r.max_sigma = max_sigma_;
-  r.messages_lost = s.messages_lost();
-  r.stale_reads = s.stale_reads();
-  r.recovery_rounds = s.recovery_rounds();
-  r.window_expirations = window_view_ ? window_view_->total_expirations() : 0;
   r.messages_per_step =
       r.steps == 0 ? 0.0
                    : static_cast<double>(r.messages) / static_cast<double>(r.steps);

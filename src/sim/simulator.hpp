@@ -27,6 +27,7 @@
 #include "model/window.hpp"
 #include "sim/context.hpp"
 #include "sim/protocol.hpp"
+#include "sim/stats_snapshot.hpp"
 #include "sim/stream.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
@@ -61,26 +62,15 @@ struct SimConfig {
   std::size_t window = kInfiniteWindow;
 };
 
-struct RunResult {
-  std::uint64_t messages = 0;
-  std::uint64_t node_to_server = 0;
-  std::uint64_t server_to_node = 0;
-  std::uint64_t broadcasts = 0;
-  std::array<std::uint64_t, kNumMessageTags> by_tag{};
+/// The StatsSnapshot core (comm totals/kinds/tags/rounds, fault metrics —
+/// all zero on the fault-free path — the fleet-level window_expirations
+/// metric, and the networked runtime's per-link transport counters) plus the
+/// per-run extrema the standalone simulator adds on top.
+struct RunResult : StatsSnapshot {
   std::uint64_t steps = 0;
   std::uint64_t max_rounds_per_step = 0;
   std::size_t max_sigma = 0;
   double messages_per_step = 0.0;
-
-  // Fault metrics (all zero on the fault-free path).
-  std::uint64_t messages_lost = 0;    ///< retransmissions on lossy links
-  std::uint64_t stale_reads = 0;      ///< observations served from the past
-  std::uint64_t recovery_rounds = 0;  ///< membership-change recoveries run
-
-  /// Window metric (zero on the unwindowed path): nodes whose window maximum
-  /// expired (dropped by pure eviction). Fleet-level, like stale_reads — on
-  /// the engine path every query of a window reports the shared total.
-  std::uint64_t window_expirations = 0;
 };
 
 class Simulator {
@@ -145,6 +135,14 @@ class Simulator {
   /// The attached fault schedule (null on the fault-free path).
   const FleetSchedule* faults() const { return faults_.get(); }
 
+  /// Net-runtime plumbing: forces the next step to run the protocol's
+  /// membership-change recovery (and book a recovery round) even if the
+  /// fault schedule scripts none — the networked coordinator fires this when
+  /// a node-host link comes back from an outage, so reconnections exercise
+  /// the same recovery path scripted churn does. One-shot; never armed on
+  /// the loss-free path, which therefore stays bit-identical.
+  void force_recovery_next_step() { force_recovery_ = true; }
+
   /// Engine plumbing: points this query at the engine's shared per-window
   /// value model WITHOUT value transformation — the engine windows the
   /// shared snapshot once per step before fanning it out, and per-query
@@ -196,13 +194,13 @@ class Simulator {
   ScratchArena strict_arena_;  ///< lazy validator scratch (strict mode only)
   std::size_t max_sigma_ = 0;
   TimeStep next_t_ = 0;
+  bool force_recovery_ = false;  ///< one-shot link-reconnect recovery (net)
 
-  /// Registry ids of the simulator's metric namespace (attach_telemetry).
+  /// Registry ids of the simulator's metric namespace (attach_telemetry):
+  /// the shared StatsSnapshot block plus the sim-specific gauges.
   struct TelemetryIds {
-    telemetry::MetricId messages, node_to_server, server_to_node, broadcasts;
-    std::array<telemetry::MetricId, kNumMessageTags> by_tag;
-    telemetry::MetricId rounds, messages_lost, stale_reads, recovery_rounds;
-    telemetry::MetricId window_expirations, order_repairs, order_rebuilds;
+    StatsSnapshotIds stats;
+    telemetry::MetricId order_repairs, order_rebuilds;
     telemetry::MetricId step, sigma, violating;
     telemetry::MetricId messages_per_step;  ///< histogram
   };

@@ -22,6 +22,8 @@ struct StreamSpec {
   double churn = 1.0;      ///< oscillator churn fraction
   double drift = 0.0;      ///< oscillating band drift fraction per step
   std::string trace_path;  ///< for kind == "trace_file"
+
+  friend bool operator==(const StreamSpec&, const StreamSpec&) = default;
 };
 
 /// Constructs the generator named by `spec.kind`; throws std::runtime_error

@@ -46,6 +46,13 @@ double Flags::get_double(const std::string& name, double def) const {
   return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
 }
 
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);  // map: sorted
+  return out;
+}
+
 bool Flags::get_bool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;

@@ -26,6 +26,11 @@ class Flags {
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
+  /// Every flag name that was given on the command line, sorted ascending.
+  /// The declarative options layer (apps/options.hpp) uses this to reject
+  /// unknown flags instead of silently ignoring typos.
+  std::vector<std::string> names() const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> values_;

@@ -40,6 +40,11 @@ class Table {
   /// RFC-4180-ish CSV (no quoting of separators inside cells needed here).
   std::string to_csv() const;
 
+  /// JSON document: {"title": ..., "rows": [{header: cell, ...}, ...]}.
+  /// Cells stay strings (they are pre-formatted for humans); machine
+  /// consumers wanting raw numbers should use the telemetry export instead.
+  std::string to_json() const;
+
   /// Prints the ASCII rendering to `os` followed by a blank line.
   void print(std::ostream& os) const;
 

@@ -28,6 +28,7 @@
 #include "faults/registry.hpp"
 #include "model/oracle.hpp"
 #include "model/window.hpp"
+#include "net/coordinator.hpp"
 #include "protocols/registry.hpp"
 #include "sim/simulator.hpp"
 #include "streams/registry.hpp"
@@ -221,6 +222,77 @@ TEST(DifferentialFuzz, RandomConfigurationsUpholdTheOracleContract) {
   // The draw space must keep exercising both modes.
   EXPECT_GT(windowed, configs / 4);
   EXPECT_GT(configs - windowed, 0u);
+}
+
+/// Sim-vs-network differential: the networked runtime (src/net) must
+/// reproduce the standalone Simulator's model-level counters and final
+/// output BIT-IDENTICALLY on loss-free links, for every drawn configuration.
+/// The draw space is the same as the oracle fuzz above (all non-adaptive
+/// streams, every fault preset, windowed and unwindowed), with a rotating
+/// host count; node-hosts run as real threads over loopback links.
+bool run_network_config(const FuzzConfig& c, std::uint32_t hosts) {
+  net::RunSpec spec;
+  spec.stream = spec_for(c);
+  spec.protocol = c.protocol;
+  spec.protocol_epsilon = c.epsilon;
+  spec.seed = c.seed;
+  spec.window = c.window;
+  spec.steps = c.steps;
+  spec.faults = fault_preset(c.faults);
+  spec.faults.horizon = c.steps;
+  spec.faults.seed = c.fault_seed;
+
+  Simulator sim = make_sim(c, c.window, /*record=*/false);
+  const RunResult expected = sim.run(c.steps);
+
+  net::InprocNetOptions opts;
+  opts.hosts = hosts;
+  opts.link_loss = 0.0;  // bit-identity needs loss-free links
+  const net::InprocNetReport rep = net::run_networked_inproc(spec, opts);
+
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    if (rep.host_exit[h] != 0) {
+      ADD_FAILURE() << "node-host " << h << " failed\n  repro: " << reproducer(c);
+      return false;
+    }
+  }
+  if (rep.quiescence_errors != 0) {
+    ADD_FAILURE() << rep.quiescence_errors << " quiescence errors\n  repro: "
+                  << reproducer(c);
+    return false;
+  }
+  if (rep.output != sim.protocol().output()) {
+    ADD_FAILURE() << "networked output diverges\n  repro: " << reproducer(c);
+    return false;
+  }
+  StatsSnapshot model = rep.run;
+  model.net = NetChannelStats{};  // wire counters are networked-only
+  if (model != static_cast<const StatsSnapshot&>(expected) ||
+      rep.run.max_rounds_per_step != expected.max_rounds_per_step ||
+      rep.run.max_sigma != expected.max_sigma) {
+    ADD_FAILURE() << "networked model counters diverge from the simulator"
+                  << "\n  repro: " << reproducer(c);
+    return false;
+  }
+  return true;
+}
+
+TEST(DifferentialFuzz, NetworkedRuntimeReproducesTheSimulatorBitIdentically) {
+  const std::uint64_t base_seed = env_u64("TOPKMON_FUZZ_SEED", 20260730);
+  const std::uint64_t configs = env_u64("TOPKMON_FUZZ_NET_CONFIGS", 60);
+  RecordProperty("fuzz_seed", static_cast<int>(base_seed));
+
+  Rng rng(splitmix_combine(base_seed, 0x4E70));
+  for (std::uint64_t i = 0; i < configs; ++i) {
+    const FuzzConfig c = draw(rng, splitmix_combine(base_seed, 0x4E700000u + i));
+    const std::uint32_t hosts =
+        1 + static_cast<std::uint32_t>(rng.below(std::min<std::size_t>(c.n, 4)));
+    if (!run_network_config(c, hosts)) {
+      GTEST_FAIL() << "network fuzz config " << i << " of " << configs
+                   << " failed (base seed " << base_seed << ", hosts " << hosts
+                   << ")";
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// Networked-runtime tests (ctest label: net).
+//
+// The central claim of src/net: the coordinator runs the UNMODIFIED
+// monitoring protocol, so a networked run on a loss-free schedule reproduces
+// the in-process Simulator's model-level counters bit-identically — same
+// messages, same kinds, same tags, same rounds, same output — while the wire
+// traffic is accounted separately (net.*). These tests pin that equivalence
+// across protocols, streams, fault presets, window lengths and host counts
+// (over loopback links, with real NodeHost threads), check the link fault
+// emulation (probabilistic loss and scripted outages → reconnection and
+// recovery rounds), and smoke the TCP transport end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "faults/registry.hpp"
+#include "net/coordinator.hpp"
+#include "net/link.hpp"
+#include "net/node_host.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace topkmon::net {
+namespace {
+
+RunSpec base_spec() {
+  RunSpec spec;
+  spec.stream.kind = "random_walk";
+  spec.stream.n = 16;
+  spec.stream.k = 3;
+  spec.stream.delta = 1 << 20;
+  spec.stream.sigma = 8;
+  spec.stream.walk_step = 64;
+  spec.protocol = "combined";
+  spec.protocol_epsilon = 0.1;
+  spec.seed = 42;
+  spec.steps = 120;
+  return spec;
+}
+
+/// The oracle: the standalone in-process Simulator on the same spec.
+RunResult standalone_run(const RunSpec& spec, OutputSet* output = nullptr) {
+  SimConfig cfg;
+  cfg.k = spec.stream.k;
+  cfg.epsilon = spec.protocol_epsilon;
+  cfg.seed = spec.seed;
+  cfg.window = spec.window;
+  cfg.faults = make_fleet_schedule(spec.faults, spec.stream.n);
+  Simulator sim(cfg, make_stream(spec.stream), make_protocol(spec.protocol));
+  const RunResult run = sim.run(spec.steps);
+  if (output != nullptr) *output = sim.protocol().output();
+  return run;
+}
+
+/// Asserts the networked run reproduced the standalone model counters
+/// bit-identically (the net.* block is wire-level and excluded by zeroing).
+void expect_model_identical(const RunResult& networked, const RunResult& expected) {
+  StatsSnapshot net_model = networked;
+  net_model.net = NetChannelStats{};
+  EXPECT_EQ(net_model, static_cast<const StatsSnapshot&>(expected));
+  EXPECT_EQ(networked.steps, expected.steps);
+  EXPECT_EQ(networked.max_rounds_per_step, expected.max_rounds_per_step);
+  EXPECT_EQ(networked.max_sigma, expected.max_sigma);
+  EXPECT_DOUBLE_EQ(networked.messages_per_step, expected.messages_per_step);
+}
+
+TEST(NetRuntime, LossFreeRunIsBitIdenticalToTheSimulator) {
+  for (const std::uint32_t hosts : {1u, 2u, 3u, 5u}) {
+    const RunSpec spec = base_spec();
+    OutputSet expected_output;
+    const RunResult expected = standalone_run(spec, &expected_output);
+
+    InprocNetOptions opts;
+    opts.hosts = hosts;
+    const InprocNetReport rep = run_networked_inproc(spec, opts);
+
+    for (const int status : rep.host_exit) EXPECT_EQ(status, 0);
+    EXPECT_EQ(rep.quiescence_errors, 0u);
+    EXPECT_EQ(rep.output, expected_output) << "hosts=" << hosts;
+    expect_model_identical(rep.run, expected);
+    EXPECT_GT(rep.run.net.frames_sent, 0u);
+    EXPECT_GT(rep.run.net.bytes_sent, 0u);
+    EXPECT_EQ(rep.run.net.send_retries, 0u);
+    EXPECT_EQ(rep.run.net.reconnects, 0u);
+  }
+}
+
+TEST(NetRuntime, BitIdentityHoldsAcrossProtocolsStreamsFaultsAndWindows) {
+  struct Cell {
+    const char* protocol;
+    const char* stream;
+    const char* faults;
+    std::size_t window;
+    double epsilon;
+  };
+  const std::vector<Cell> cells = {
+      {"combined", "oscillating", "none", 0, 0.1},
+      {"topk_protocol", "uniform", "none", 16, 0.15},
+      {"exact_topk", "zipf_bursty", "none", 0, 0.0},
+      {"half_error", "sine_noise", "none", 8, 0.2},
+      {"combined", "random_walk", "churn", 0, 0.1},
+      {"combined", "zipf_bursty", "stragglers", 4, 0.1},
+      {"topk_protocol", "oscillating", "flaky", 0, 0.1},
+      {"combined", "sine_noise", "datacenter", 32, 0.05},
+  };
+  for (const Cell& cell : cells) {
+    RunSpec spec = base_spec();
+    spec.protocol = cell.protocol;
+    spec.stream.kind = cell.stream;
+    spec.protocol_epsilon = cell.epsilon;
+    spec.window = cell.window;
+    spec.steps = 80;
+    spec.faults = fault_preset(cell.faults);
+    spec.faults.horizon = spec.steps;
+    spec.faults.seed = 7;
+    // Bit-identity needs loss-free LINKS; model-level loss accounting runs on
+    // the coordinator's fault channel either way, so zeroing wire loss keeps
+    // the model counters (incl. messages_lost) untouched.
+    InprocNetOptions opts;
+    opts.hosts = 3;
+    opts.link_loss = 0.0;
+
+    OutputSet expected_output;
+    const RunResult expected = standalone_run(spec, &expected_output);
+    const InprocNetReport rep = run_networked_inproc(spec, opts);
+
+    for (const int status : rep.host_exit) EXPECT_EQ(status, 0);
+    EXPECT_EQ(rep.quiescence_errors, 0u)
+        << cell.protocol << "/" << cell.stream << "/" << cell.faults;
+    EXPECT_EQ(rep.output, expected_output)
+        << cell.protocol << "/" << cell.stream << "/" << cell.faults;
+    expect_model_identical(rep.run, expected);
+  }
+}
+
+TEST(NetRuntime, FrameLossBooksRetriesWithoutTouchingModelCounters) {
+  RunSpec spec = base_spec();
+  spec.steps = 100;
+
+  const RunResult expected = standalone_run(spec);
+
+  InprocNetOptions lossy;
+  lossy.hosts = 2;
+  lossy.link_loss = 0.2;
+  const InprocNetReport rep = run_networked_inproc(spec, lossy);
+
+  for (const int status : rep.host_exit) EXPECT_EQ(status, 0);
+  expect_model_identical(rep.run, expected);
+  EXPECT_GT(rep.run.net.send_retries, 0u);
+  EXPECT_EQ(rep.run.net.reconnects, 0u);
+}
+
+TEST(NetRuntime, ScriptedOutageReconnectsAndBooksRecoveryRounds) {
+  RunSpec spec = base_spec();
+  spec.steps = 100;
+
+  // Fault-free oracle for the OUTPUT check: link outages are wire events, and
+  // recovery re-synchronizes the protocol, so the final top-k set must match
+  // the fault-free run's.
+  OutputSet expected_output;
+  standalone_run(spec, &expected_output);
+
+  InprocNetOptions opts;
+  opts.hosts = 2;
+  opts.link_loss = 0.0;
+  opts.outages.push_back({/*host=*/1, /*coordinator_side=*/true,
+                          LinkOutage{/*first_attempt=*/40, /*attempts=*/3}});
+  opts.outages.push_back({/*host=*/0, /*coordinator_side=*/false,
+                          LinkOutage{/*first_attempt=*/25, /*attempts=*/2}});
+  const InprocNetReport rep = run_networked_inproc(spec, opts);
+
+  for (const int status : rep.host_exit) EXPECT_EQ(status, 0);
+  EXPECT_EQ(rep.quiescence_errors, 0u);
+  EXPECT_EQ(rep.output, expected_output);
+  // The coordinator-side outage fires the membership-recovery hook; the
+  // node-side one books wire retries on the node link (summed into run.net
+  // only for coordinator links, so assert via reconnect accounting instead).
+  EXPECT_GT(rep.run.recovery_rounds, 0u);
+  EXPECT_EQ(rep.run.net.reconnects, 1u);
+  EXPECT_GE(rep.run.net.send_retries, 3u);
+}
+
+TEST(NetRuntime, CoordinatorTelemetryExportsModelAndNetCounters) {
+  RunSpec spec = base_spec();
+  spec.steps = 60;
+
+  telemetry::TelemetrySink sink;
+  InprocNetOptions opts;
+  opts.hosts = 2;
+  opts.sink = &sink;
+  const InprocNetReport rep = run_networked_inproc(spec, opts);
+
+  // register_stats_metrics is idempotent: re-registering returns the ids the
+  // coordinator already published through.
+  const StatsSnapshotIds ids = register_stats_metrics(sink.registry());
+  const telemetry::MetricsRegistry& reg = sink.registry();
+  EXPECT_EQ(reg.value(ids.messages), rep.run.messages);
+  EXPECT_EQ(reg.value(ids.net_frames_sent), rep.run.net.frames_sent);
+  EXPECT_EQ(reg.value(ids.net_frames_recv), rep.run.net.frames_recv);
+  EXPECT_EQ(reg.value(ids.net_bytes_sent), rep.run.net.bytes_sent);
+  EXPECT_EQ(reg.value(ids.net_reconnects), rep.run.net.reconnects);
+}
+
+TEST(NetRuntime, RejectsAdaptiveStreamsAndEmptyShards) {
+  RunSpec spec = base_spec();
+  spec.stream.kind = "lb_adversary";
+  EXPECT_THROW(run_networked_inproc(spec, InprocNetOptions{}),
+               std::runtime_error);
+
+  spec = base_spec();
+  spec.stream.n = 2;
+  spec.stream.k = 1;
+  InprocNetOptions opts;
+  opts.hosts = 3;  // more hosts than nodes
+  EXPECT_THROW(run_networked_inproc(spec, opts), std::runtime_error);
+}
+
+TEST(NetRuntime, TcpTransportRunsTheFullLockstep) {
+  TcpListener listener;
+  if (!listener.listen(0)) {
+    GTEST_SKIP() << "TCP sockets unavailable in this environment";
+  }
+  const std::uint16_t port = listener.port();
+  RunSpec spec = base_spec();
+  spec.steps = 40;
+  const std::uint32_t hosts = 2;
+
+  OutputSet expected_output;
+  const RunResult expected = standalone_run(spec, &expected_output);
+
+  std::vector<std::unique_ptr<NodeHost>> node_hosts(hosts);
+  std::vector<int> exits(hosts, -1);
+  std::vector<std::thread> threads;
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    threads.emplace_back([&, h] {
+      std::unique_ptr<Transport> t = tcp_connect("127.0.0.1", port);
+      if (!t) return;
+      node_hosts[h] = std::make_unique<NodeHost>(
+          std::make_unique<Link>(std::move(t)), h, hosts);
+      exits[h] = node_hosts[h]->run();
+    });
+  }
+
+  std::vector<std::unique_ptr<Link>> links;
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    std::unique_ptr<Transport> t = listener.accept();
+    ASSERT_NE(t, nullptr);
+    links.push_back(std::make_unique<Link>(std::move(t)));
+  }
+  NetCoordinator coord(spec, std::move(links));
+  const RunResult run = coord.run();
+  for (std::thread& th : threads) th.join();
+
+  for (const int status : exits) EXPECT_EQ(status, 0);
+  EXPECT_EQ(coord.quiescence_errors(), 0u);
+  EXPECT_EQ(coord.output(), expected_output);
+  expect_model_identical(run, expected);
+  EXPECT_GT(run.net.frames_sent, 0u);
+  // Node binaries report from the Shutdown stats: every host saw the same
+  // final aggregate the coordinator returned.
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    ASSERT_NE(node_hosts[h], nullptr);
+    EXPECT_EQ(node_hosts[h]->final_stats(), static_cast<const StatsSnapshot&>(run));
+  }
+}
+
+TEST(NetRuntime, LoopbackTransportDeliversInOrderAndClosesCleanly) {
+  TransportPair pair = make_loopback_pair();
+  const std::vector<std::uint8_t> f1 = encode(StepBeginMsg{1});
+  const std::vector<std::uint8_t> f2 = encode(StepBeginMsg{2});
+  ASSERT_TRUE(pair.a->send(f1));
+  ASSERT_TRUE(pair.a->send(f2));
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(pair.b->recv(got));
+  EXPECT_EQ(got, f1);
+  ASSERT_TRUE(pair.b->recv(got));
+  EXPECT_EQ(got, f2);
+
+  pair.a->close();
+  EXPECT_FALSE(pair.b->recv(got));
+  EXPECT_FALSE(pair.b->send(f1));
+}
+
+}  // namespace
+}  // namespace topkmon::net

@@ -1,0 +1,214 @@
+// Wire-format tests (ctest label: net): every message round-trips through
+// encode → parse_frame → decode, and malformed frames — wrong version,
+// unknown type, truncation, trailing bytes, type mismatch — throw WireError
+// instead of misparsing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace topkmon::net {
+namespace {
+
+RunSpec sample_spec() {
+  RunSpec spec;
+  spec.stream.kind = "oscillating";
+  spec.stream.n = 24;
+  spec.stream.k = 5;
+  spec.stream.epsilon = 0.15;
+  spec.stream.delta = 1 << 18;
+  spec.stream.sigma = 9;
+  spec.stream.walk_step = 32;
+  spec.stream.churn = 0.5;
+  spec.stream.drift = 0.01;
+  spec.stream.trace_path = "some/trace.csv";
+  spec.protocol = "topk_protocol";
+  spec.protocol_epsilon = 0.2;
+  spec.seed = 1234567;
+  spec.window = 64;
+  spec.steps = 321;
+  spec.faults.churn_rate = 0.01;
+  spec.faults.straggler_fraction = 0.25;
+  spec.faults.max_delay = 7;
+  spec.faults.loss = 0.05;
+  spec.faults.seed = 99;
+  spec.faults.horizon = 321;
+  return spec;
+}
+
+StatsSnapshot sample_stats() {
+  StatsSnapshot s;
+  s.messages = 101;
+  s.node_to_server = 60;
+  s.server_to_node = 11;
+  s.broadcasts = 30;
+  for (std::size_t t = 0; t < kNumMessageTags; ++t) s.by_tag[t] = 7 * t + 1;
+  s.rounds = 500;
+  s.messages_lost = 3;
+  s.stale_reads = 44;
+  s.recovery_rounds = 2;
+  s.window_expirations = 12;
+  s.net.frames_sent = 1000;
+  s.net.frames_recv = 999;
+  s.net.bytes_sent = 123456;
+  s.net.bytes_recv = 654321;
+  s.net.send_retries = 17;
+  s.net.reconnects = 1;
+  return s;
+}
+
+TEST(Wire, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.str("hello wire");
+  w.values(ValueVector{1, 2, 3, 1ull << 60});
+  const std::vector<std::uint8_t> frame = w.frame(MsgType::kHello);
+
+  const Frame f = parse_frame(frame);
+  EXPECT_EQ(f.type, MsgType::kHello);
+  WireReader r(f.payload);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_EQ(r.str(), "hello wire");
+  EXPECT_EQ(r.values(), (ValueVector{1, 2, 3, 1ull << 60}));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Wire, HelloRoundTrips) {
+  const HelloMsg m{3, 8};
+  EXPECT_EQ(decode_hello(parse_frame(encode(m))), m);
+}
+
+TEST(Wire, ConfigRoundTripsTheFullRunSpec) {
+  ConfigMsg m;
+  m.spec = sample_spec();
+  m.shard_lo = 6;
+  m.shard_hi = 12;
+  EXPECT_EQ(decode_config(parse_frame(encode(m))), m);
+}
+
+TEST(Wire, StepBeginRoundTrips) {
+  const StepBeginMsg m{987654321};
+  EXPECT_EQ(decode_step_begin(parse_frame(encode(m))), m);
+}
+
+TEST(Wire, ShardValuesRoundTrips) {
+  ShardValuesMsg m;
+  m.t = 17;
+  m.lo = 8;
+  m.values = {5, 0, 1ull << 40, 3};
+  m.stale = 2;
+  m.violations = 1;
+  EXPECT_EQ(decode_shard_values(parse_frame(encode(m))), m);
+}
+
+TEST(Wire, FilterUpdateRoundTrips) {
+  FilterUpdateMsg m;
+  m.t = 3;
+  m.filters = {{0, 1.5, 7.25}, {11, -1e18, 1e18}};
+  EXPECT_EQ(decode_filter_update(parse_frame(encode(m))), m);
+
+  const FilterUpdateMsg empty{42, {}};
+  EXPECT_EQ(decode_filter_update(parse_frame(encode(empty))), empty);
+}
+
+TEST(Wire, StepAckRoundTrips) {
+  const StepAckMsg m{55, 4};
+  EXPECT_EQ(decode_step_ack(parse_frame(encode(m))), m);
+}
+
+TEST(Wire, ShutdownRoundTripsTheFullStatsSnapshot) {
+  const ShutdownMsg m{sample_stats()};
+  EXPECT_EQ(decode_shutdown(parse_frame(encode(m))), m);
+}
+
+TEST(Wire, RejectsVersionMismatch) {
+  std::vector<std::uint8_t> frame = encode(HelloMsg{0, 1});
+  frame[4] ^= 0xFF;  // low byte of the u16 version field
+  EXPECT_THROW(parse_frame(frame), WireError);
+}
+
+TEST(Wire, RejectsUnknownType) {
+  WireWriter w;
+  w.u32(1);
+  std::vector<std::uint8_t> frame = w.frame(MsgType::kHello);
+  frame[6] = 0x77;  // low byte of the u16 type field
+  frame[7] = 0x77;
+  EXPECT_THROW(parse_frame(frame), WireError);
+}
+
+TEST(Wire, RejectsTruncation) {
+  const std::vector<std::uint8_t> frame = encode(ConfigMsg{sample_spec(), 0, 4});
+  // Every strict prefix must be rejected somewhere: short header/length
+  // mismatch in parse_frame, or payload truncation in the decoder.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const std::vector<std::uint8_t> cut(frame.begin(), frame.begin() + len);
+    EXPECT_THROW(decode_config(parse_frame(cut)), WireError) << "prefix " << len;
+  }
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  // Grow the payload without updating the inner structure: the decoder must
+  // notice the unconsumed tail. The length prefix is patched so parse_frame
+  // accepts the frame and the tail check is what fires.
+  std::vector<std::uint8_t> frame = encode(StepAckMsg{1, 2});
+  frame.push_back(0xCC);
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size() - 4);
+  frame[0] = static_cast<std::uint8_t>(len);
+  frame[1] = static_cast<std::uint8_t>(len >> 8);
+  frame[2] = static_cast<std::uint8_t>(len >> 16);
+  frame[3] = static_cast<std::uint8_t>(len >> 24);
+  EXPECT_THROW(decode_step_ack(parse_frame(frame)), WireError);
+}
+
+TEST(Wire, RejectsLengthMismatch) {
+  std::vector<std::uint8_t> frame = encode(HelloMsg{0, 1});
+  frame[0] += 1;  // length field no longer matches the buffer
+  EXPECT_THROW(parse_frame(frame), WireError);
+}
+
+TEST(Wire, DecodersRejectTheWrongType) {
+  const std::vector<std::uint8_t> hello = encode(HelloMsg{0, 1});
+  EXPECT_THROW(decode_config(parse_frame(hello)), WireError);
+  EXPECT_THROW(decode_step_begin(parse_frame(hello)), WireError);
+  EXPECT_THROW(decode_shard_values(parse_frame(hello)), WireError);
+  EXPECT_THROW(decode_filter_update(parse_frame(hello)), WireError);
+  EXPECT_THROW(decode_step_ack(parse_frame(hello)), WireError);
+  EXPECT_THROW(decode_shutdown(parse_frame(hello)), WireError);
+}
+
+TEST(Wire, ValidateRunSpecRejectsAdaptiveStreamsAndDegenerateParams) {
+  EXPECT_EQ(validate_run_spec(sample_spec()), "");
+
+  RunSpec bad = sample_spec();
+  bad.stream.kind = "lb_adversary";
+  EXPECT_NE(validate_run_spec(bad), "");
+  bad.stream.kind = "phase_torture";
+  EXPECT_NE(validate_run_spec(bad), "");
+
+  bad = sample_spec();
+  bad.stream.k = 0;
+  EXPECT_NE(validate_run_spec(bad), "");
+
+  bad = sample_spec();
+  bad.stream.k = bad.stream.n;
+  EXPECT_NE(validate_run_spec(bad), "");
+
+  bad = sample_spec();
+  bad.steps = 0;
+  EXPECT_NE(validate_run_spec(bad), "");
+}
+
+}  // namespace
+}  // namespace topkmon::net
