@@ -1,0 +1,132 @@
+// E16 — the k-select structure vs the position monitors: message economics
+// across the cross-workload grid (E9) plus windowed/faulty composition rows
+// (E12/E14 style).
+//
+// The structure answers strictly more than the position protocols (every
+// j-select value, not just the top-k set), so the interesting question is
+// what that costs. Shapes to check:
+//   * on random walks the band ladder's re-band-without-messages path keeps
+//     kselect within a small factor of topk_protocol;
+//   * on oscillating/zipf churn the one-broadcast floor moves amortize:
+//     kselect stays far below naive re-probing even while serving all ranks;
+//   * windowed rows drop for every protocol (smoother maxima), and the
+//     kselect/offline-OPT ratio stays bounded as W grows;
+//   * fault rows compose — recovery restarts re-run start() (one probe +
+//     one filter broadcast), visible as a broadcasts uptick, not a message
+//     explosion.
+// "messages"/"broadcasts"/"opt phases" are deterministic in the seed and
+// gated exactly against bench/bench_baseline.json by scripts/check_bench.py;
+// "opt phases" is the offline k-select optimum (offline/kselect_opt.hpp) on
+// the recorded history, the competitive-ratio denominator for this family.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "faults/registry.hpp"
+#include "offline/kselect_opt.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+
+using namespace topkmon;
+using bench::BenchArgs;
+
+namespace {
+
+StreamSpec fleet_spec(const std::string& kind) {
+  StreamSpec spec;
+  spec.kind = kind;
+  spec.n = 32;
+  spec.k = 4;
+  spec.epsilon = 0.15;
+  spec.sigma = 12;
+  spec.delta = 1 << 16;
+  spec.walk_step = 64;
+  return spec;
+}
+
+struct CellResult {
+  std::uint64_t messages = 0;    ///< Σ over trials (deterministic)
+  std::uint64_t broadcasts = 0;  ///< Σ over trials (deterministic)
+  std::uint64_t opt_phases = 0;  ///< Σ offline k-select OPT phases
+  double msgs_per_step = 0.0;    ///< mean over trials
+};
+
+CellResult run_cell(const std::string& workload, const std::string& protocol,
+                    std::size_t window, const std::string& faults,
+                    const BenchArgs& args) {
+  CellResult cell;
+  for (std::size_t trial = 0; trial < args.trials; ++trial) {
+    FaultConfig fcfg = fault_preset(faults);
+    fcfg.horizon = args.steps;
+    fcfg.seed = splitmix_combine(args.seed, trial);
+
+    SimConfig cfg;
+    cfg.k = 4;
+    cfg.epsilon = 0.15;
+    cfg.seed = splitmix_combine(args.seed, 1000 + trial);
+    cfg.window = window;
+    cfg.record_history = true;
+    cfg.faults = make_fleet_schedule(fcfg, 32);
+    Simulator sim(cfg, make_stream(fleet_spec(workload)), make_protocol(protocol));
+    const RunResult r = sim.run(args.steps);
+
+    cell.messages += r.messages;
+    cell.broadcasts += r.broadcasts;
+    // sim.history() is the (windowed, fault-degraded) stream the protocol
+    // saw, so KSelectOpt on it IS this cell's offline optimum.
+    cell.opt_phases +=
+        KSelectOpt::approx(sim.history(), cfg.k, cfg.epsilon).phases;
+    cell.msgs_per_step += r.messages_per_step;
+  }
+  cell.msgs_per_step /= static_cast<double>(args.trials);
+  return cell;
+}
+
+void add_cell(Table& t, const std::string& workload, const std::string& protocol,
+              std::size_t window, const std::string& faults,
+              const BenchArgs& args) {
+  const CellResult cell = run_cell(workload, protocol, window, faults, args);
+  t.add_row({workload, protocol, std::to_string(window), faults,
+             std::to_string(cell.messages), std::to_string(cell.broadcasts),
+             std::to_string(cell.opt_phases),
+             format_double(cell.msgs_per_step, 2),
+             format_double(static_cast<double>(cell.messages) /
+                               static_cast<double>(
+                                   std::max<std::uint64_t>(1, cell.opt_phases)),
+                           2)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::vector<std::string> workloads{"uniform", "random_walk",
+                                           "oscillating", "zipf_bursty",
+                                           "sine_noise"};
+  const std::vector<std::string> protocols{"kselect", "topk_protocol",
+                                           "combined"};
+
+  Table t("E16 — k-select structure vs position monitors (n=32, k=4, ε=0.15, " +
+          std::to_string(args.steps) + " steps, " + std::to_string(args.trials) +
+          " trials, seed=" + std::to_string(args.seed) + ")");
+  t.header({"workload", "protocol", "window", "faults", "messages",
+            "broadcasts", "opt phases", "msgs/step", "ratio"});
+
+  // The E9 cross-workload grid, instantaneous and fault-free.
+  for (const std::string& workload : workloads) {
+    for (const std::string& protocol : protocols) {
+      add_cell(t, workload, protocol, 0, "none", args);
+    }
+  }
+  // Composition rows for the structure itself: windows and fault presets on
+  // the two churn-heavy workloads (the E12/E14 axes).
+  for (const std::string& workload : {"oscillating", "zipf_bursty"}) {
+    for (const std::size_t window : {std::size_t{8}, std::size_t{64}}) {
+      for (const std::string& faults : {"none", "datacenter"}) {
+        add_cell(t, workload, "kselect", window, faults, args);
+      }
+    }
+  }
+  bench::emit(t, args);
+  return 0;
+}

@@ -42,8 +42,8 @@ namespace {
 
 void report(const RunResult& run, const net::RunSpec& spec,
             std::uint64_t quiescence_errors, const OutputSet& output,
-            std::uint32_t hosts, const std::string& mode,
-            const OutputOptions& out) {
+            const std::vector<Value>& kselect_estimates, std::uint32_t hosts,
+            const std::string& mode, const OutputOptions& out) {
   Table t("topk_coord — " + spec.protocol + " on " + spec.stream.kind + " (n=" +
           std::to_string(spec.stream.n) + ", k=" + std::to_string(spec.stream.k) +
           ", hosts=" + std::to_string(hosts) + ", steps=" +
@@ -76,6 +76,10 @@ void report(const RunResult& run, const net::RunSpec& spec,
     out_str += std::to_string(output[i]) + (i + 1 < output.size() ? ", " : "");
   }
   t.add_row({"final output F(T)", out_str + "}"});
+  if (!kselect_estimates.empty()) {
+    t.add_row({"k-select estimate (j=k)",
+               format_count(kselect_estimates.back())});
+  }
   print_table(t, out);
 }
 
@@ -142,6 +146,7 @@ int main(int argc, char** argv) {
 
     RunResult run;
     OutputSet output;
+    std::vector<Value> kselect_estimates;
     std::uint64_t quiescence_errors = 0;
     std::string mode;
 
@@ -177,6 +182,11 @@ int main(int argc, char** argv) {
       run = coord.run();
       output = coord.output();
       quiescence_errors = coord.quiescence_errors();
+      if (const KSelectQueries* q = as_kselect(coord.sim().protocol())) {
+        for (std::size_t j = 1; j <= coord.sim().config().k; ++j) {
+          kselect_estimates.push_back(q->kselect(j));
+        }
+      }
     } else {
       mode = "inproc";
       net::InprocNetOptions net_opts;
@@ -193,10 +203,11 @@ int main(int argc, char** argv) {
       }
       run = rep.run;
       output = rep.output;
+      kselect_estimates = std::move(rep.kselect_estimates);
       quiescence_errors = rep.quiescence_errors;
     }
 
-    report(run, spec, quiescence_errors, output,
+    report(run, spec, quiescence_errors, output, kselect_estimates,
            static_cast<std::uint32_t>(hosts), mode, out);
 
     if (!out.telemetry_json.empty() &&

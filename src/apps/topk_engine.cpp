@@ -110,7 +110,8 @@ int main(int argc, char** argv) {
     }
 
     const std::vector<std::string> mixed_protocols{"combined", "topk_protocol",
-                                                   "half_error", "exact_topk"};
+                                                   "half_error", "exact_topk",
+                                                   "kselect"};
     for (std::size_t q = 0; q < q_count; ++q) {
       QuerySpec qs;
       if (mixed) {
@@ -140,6 +141,26 @@ int main(int argc, char** argv) {
     if (per_query) {
       std::cout << "\n";
       print_table(stats.per_query_table("per-query breakdown"), out);
+    }
+
+    // Queries whose protocol also serves k-select report their final
+    // estimate (engine/engine.hpp kselect accessor; empty table elided).
+    Table ks("k-select estimates (final step, j = query k)");
+    ks.header({"query", "protocol", "k", "estimate"});
+    bool any_ks = false;
+    for (std::size_t q = 0; q < q_count; ++q) {
+      const QueryHandle h = static_cast<QueryHandle>(q);
+      if (const KSelectQueries* sel = engine.kselect(h)) {
+        const SimConfig& qcfg = engine.query_sim(h).config();
+        ks.add_row({std::to_string(q),
+                    std::string(engine.query_sim(h).protocol().name()),
+                    std::to_string(qcfg.k), format_count(sel->kselect(qcfg.k))});
+        any_ks = true;
+      }
+    }
+    if (any_ks) {
+      std::cout << "\n";
+      print_table(ks, out);
     }
     if (!out.telemetry_json.empty() &&
         telemetry::write_text_file(out.telemetry_json,

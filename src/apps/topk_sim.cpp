@@ -26,6 +26,7 @@
 
 #include "apps/options.hpp"
 #include "faults/registry.hpp"
+#include "offline/kselect_opt.hpp"
 #include "offline/opt.hpp"
 #include "protocols/registry.hpp"
 #include "sim/simulator.hpp"
@@ -137,6 +138,15 @@ int main(int argc, char** argv) {
       out_str += std::to_string(final_out[i]) + (i + 1 < final_out.size() ? ", " : "");
     }
     t.add_row({"final output F(T)", out_str + "}"});
+
+    if (const KSelectQueries* q = as_kselect(sim.protocol())) {
+      t.add_row({"k-select estimate (j=k)", format_count(q->kselect(cfg.k))});
+      if (cfg.record_history) {
+        const KSelectOptReport kopt =
+            KSelectOpt::approx(sim.history(), cfg.k, cfg.epsilon);
+        t.add_row({"k-select OPT phases", format_count(kopt.phases)});
+      }
+    }
 
     print_table(t, out);
     if (!dump_trace.empty()) {

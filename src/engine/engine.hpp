@@ -99,6 +99,12 @@ class MonitoringEngine {
   const Simulator& query_sim(QueryHandle h) const;
   const OutputSet& output(QueryHandle h) const;
 
+  /// The query's k-select surface (sim/protocol.hpp), or nullptr when its
+  /// protocol serves only top-k positions. Valid once the engine has started.
+  const KSelectQueries* kselect(QueryHandle h) const {
+    return as_kselect(query_sim(h).protocol());
+  }
+
   /// Shared snapshot history (empty unless cfg.record_history); recorded
   /// once per step — not once per query — and *pre-window*: the effective
   /// (possibly fault-degraded) vector before any per-window transform.

@@ -153,4 +153,20 @@ std::string Oracle::explain_invalid(std::span<const Value> values, std::size_t k
   return "";
 }
 
+bool Oracle::kselect_valid(std::span<const Value> values, std::size_t k,
+                           double epsilon, Value answer) {
+  return in_neighborhood(answer, kth_value(values, k), epsilon);
+}
+
+std::string Oracle::explain_kselect_invalid(std::span<const Value> values,
+                                            std::size_t k, double epsilon,
+                                            Value answer) {
+  const Value vk = kth_value(values, k);
+  if (in_neighborhood(answer, vk, epsilon)) return "";
+  std::ostringstream oss;
+  oss << "k-select answer " << answer << " outside the ε-neighborhood of v_" << k
+      << " = " << vk << " (ε = " << epsilon << ")";
+  return oss.str();
+}
+
 }  // namespace topkmon

@@ -1,5 +1,6 @@
 #include "net/coordinator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
@@ -262,6 +263,13 @@ InprocNetReport run_networked_inproc(const RunSpec& spec,
   report.output = coordinator.output();
   report.quiescence_errors = coordinator.quiescence_errors();
   report.host_exit = std::move(exits);
+  if (const KSelectQueries* q = as_kselect(coordinator.sim().protocol())) {
+    const std::size_t jmax = std::min<std::size_t>(q->kselect_max_rank(),
+                                                   coordinator.sim().config().k);
+    for (std::size_t j = 1; j <= jmax; ++j) {
+      report.kselect_estimates.push_back(q->kselect(j));
+    }
+  }
   return report;
 }
 

@@ -97,6 +97,10 @@ struct InprocNetReport {
   OutputSet output;       ///< final F(T)
   std::uint64_t quiescence_errors = 0;
   std::vector<int> host_exit;  ///< per-host run() status (all 0 on success)
+  /// Final k-select estimates, kselect(1..k), when the protocol serves them
+  /// (sim/protocol.hpp KSelectQueries); empty otherwise. Bit-identical to a
+  /// standalone Simulator's on a loss-free schedule, like the rest of `run`.
+  std::vector<Value> kselect_estimates;
 };
 
 struct InprocNetOptions {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "model/oracle.hpp"
+#include "offline/kselect_opt.hpp"
 #include "util/assert.hpp"
 
 namespace topkmon {
@@ -58,6 +60,38 @@ std::uint64_t min_phases_brute(const std::vector<ValueVector>& history, std::siz
     w.reset(history[b]);
     for (std::size_t t = b + 1; t < e; ++t) w.absorb(history[t]);
     return window_feasible_approx_brute(w, k, eps_opt);
+  };
+
+  constexpr std::uint64_t kInf = ~std::uint64_t{0};
+  std::vector<std::uint64_t> dp(T + 1, kInf);
+  dp[0] = 0;
+  for (std::size_t e = 1; e <= T; ++e) {
+    for (std::size_t b = 0; b < e; ++b) {
+      if (dp[b] != kInf && feasible(b, e)) {
+        dp[e] = std::min(dp[e], dp[b] + 1);
+      }
+    }
+  }
+  return dp[T];
+}
+
+std::uint64_t min_kselect_phases_brute(const std::vector<ValueVector>& history,
+                                       std::size_t k, double epsilon) {
+  const std::size_t T = history.size();
+  if (T == 0) return 0;
+
+  std::vector<Value> vk(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    vk[t] = Oracle::kth_value(history[t], k);
+  }
+  auto feasible = [&](std::size_t b, std::size_t e) {
+    Value lo = vk[b];
+    Value hi = vk[b];
+    for (std::size_t t = b + 1; t < e; ++t) {
+      lo = std::min(lo, vk[t]);
+      hi = std::max(hi, vk[t]);
+    }
+    return KSelectOpt::window_feasible(lo, hi, epsilon);
   };
 
   constexpr std::uint64_t kInf = ~std::uint64_t{0};

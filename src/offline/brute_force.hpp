@@ -19,4 +19,10 @@ bool window_feasible_approx_brute(const WindowExtrema& w, std::size_t k,
 std::uint64_t min_phases_brute(const std::vector<ValueVector>& history, std::size_t k,
                                double eps_opt);
 
+/// Minimal number of single-answer k-select phases (condition (★k) of
+/// offline/kselect_opt.hpp) by the same O(T²) DP; validates the greedy
+/// KSelectOpt partition.
+std::uint64_t min_kselect_phases_brute(const std::vector<ValueVector>& history,
+                                       std::size_t k, double epsilon);
+
 }  // namespace topkmon

@@ -1,0 +1,48 @@
+#include "offline/kselect_opt.hpp"
+
+#include <algorithm>
+
+#include "model/oracle.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+bool KSelectOpt::window_feasible(Value vk_min, Value vk_max, double epsilon) {
+  TOPKMON_ASSERT(vk_min <= vk_max);
+  const double scale = 1.0 - epsilon;
+  return scale * scale * static_cast<double>(vk_max) <=
+         static_cast<double>(vk_min);
+}
+
+KSelectOptReport KSelectOpt::approx(const std::vector<ValueVector>& history,
+                                    std::size_t k, double epsilon) {
+  KSelectOptReport r;
+  if (history.empty()) {
+    return r;
+  }
+  TOPKMON_ASSERT(k >= 1 && k <= history.front().size());
+  Value lo = 0;
+  Value hi = 0;
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    const Value vk = Oracle::kth_value(history[t], k);
+    if (r.phase_starts.empty()) {
+      r.phase_starts.push_back(0);
+      lo = hi = vk;
+      continue;
+    }
+    const Value trial_lo = std::min(lo, vk);
+    const Value trial_hi = std::max(hi, vk);
+    if (window_feasible(trial_lo, trial_hi, epsilon)) {
+      lo = trial_lo;
+      hi = trial_hi;
+    } else {
+      r.phase_starts.push_back(t);
+      lo = hi = vk;
+    }
+  }
+  r.phases = r.phase_starts.size();
+  r.messages_lower_bound = r.phases;
+  return r;
+}
+
+}  // namespace topkmon

@@ -1,0 +1,43 @@
+// Offline optimal k-select baseline (the competitive-ratio reference for
+// KSelectQueries, mirroring offline/opt.hpp for top-k positions).
+//
+// An offline algorithm serving ε-approximate k-select may hold one answer
+// v̂ fixed for as long as it stays valid, paying one message per change. A
+// window [a, b) of the history admits a single answer iff
+//   ∃ v̂ ≥ 0 : ∀ t ∈ [a, b):  v̂ ≥ (1−ε)·v_k(t)  ∧  (1−ε)·v̂ ≤ v_k(t)
+// ⇔ (1−ε)² · max_t v_k(t) ≤ min_t v_k(t)                        (★k)
+// (v̂ ranges over the reals — OPT is an information-theoretic baseline).
+// Feasibility is monotone under shrinking, so the greedy maximal-window
+// partition uses the minimum number of phases; one message per boundary is
+// the canonical lower bound. Validated against the O(T²) DP in
+// offline/brute_force.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+struct KSelectOptReport {
+  std::uint64_t phases = 0;
+  /// Starting row of each phase (first is always 0).
+  std::vector<std::size_t> phase_starts;
+  /// Lower bound on OPT's messages: one per phase.
+  std::uint64_t messages_lower_bound = 0;
+};
+
+class KSelectOpt {
+ public:
+  /// ε-error offline k-select optimum over the recorded history (row = time
+  /// step); ε = 0 degenerates to one phase per distinct v_k run.
+  static KSelectOptReport approx(const std::vector<ValueVector>& history,
+                                 std::size_t k, double epsilon);
+
+  /// Window feasibility (★k) over the k-th-value extrema, in the same
+  /// multiplication form the ε-helpers use.
+  static bool window_feasible(Value vk_min, Value vk_max, double epsilon);
+};
+
+}  // namespace topkmon

@@ -1,0 +1,248 @@
+#include "protocols/kselect_structure.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+// ---------------------------------------------------------------- ladder
+
+void BandLadder::reset(double epsilon) {
+  boundaries_.clear();
+  if (epsilon <= 0.0) {
+    return;  // unit bands
+  }
+  // b_0 = 0, b_1 = 1, b_{i+1} = ⌊b_i/(1−ε)⌋ + 1. The +1 guarantees strict
+  // growth (non-empty bands); the floor keeps boundaries on the integer
+  // grid, and width condition (W) holds because hi − 1 = ⌊lo/(1−ε)⌋ ≤
+  // lo/(1−ε). 2^48 < 2^53, so the double division is exact enough to stay
+  // monotone.
+  std::vector<Value> b;
+  b.push_back(0);
+  Value cur = 1;
+  while (cur <= kMaxObservableValue) {
+    b.push_back(cur);
+    if (b.size() > kMaxLadderSize) {
+      return;  // ε too small for a bounded ladder; stay in unit-band mode
+    }
+    const Value next =
+        static_cast<Value>(static_cast<double>(cur) / (1.0 - epsilon)) + 1;
+    TOPKMON_ASSERT(next > cur);
+    cur = next;
+  }
+  boundaries_ = std::move(b);
+}
+
+Value BandLadder::band_lo(Value v) const {
+  TOPKMON_ASSERT(v <= kMaxObservableValue);
+  if (unit_bands()) {
+    return v;
+  }
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  return *(it - 1);
+}
+
+Value BandLadder::band_hi(Value v) const {
+  TOPKMON_ASSERT(v <= kMaxObservableValue);
+  if (unit_bands()) {
+    return v + 1;
+  }
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  return it == boundaries_.end() ? kMaxObservableValue + 1 : *it;
+}
+
+// ---------------------------------------------------------------- protocol
+
+Filter KSelectStructure::band_filter(NodeId id) const {
+  // Bands are half-open; filters are closed intervals on the integer grid.
+  return Filter{static_cast<double>(band_lo_[id]),
+                static_cast<double>(band_hi_[id] - 1)};
+}
+
+Filter KSelectStructure::inactive_filter() const {
+  TOPKMON_ASSERT(act_lo_ > 0);
+  return Filter{0.0, static_cast<double>(act_lo_ - 1)};
+}
+
+void KSelectStructure::activate(NodeId id, Value value) {
+  TOPKMON_ASSERT(!active_[id]);
+  active_[id] = 1;
+  ++active_count_;
+  band_lo_[id] = ladder_.band_lo(value);
+  band_hi_[id] = ladder_.band_hi(value);
+  last_report_[id] = value;
+}
+
+void KSelectStructure::deactivate(NodeId id) {
+  TOPKMON_ASSERT(active_[id]);
+  active_[id] = 0;
+  --active_count_;
+}
+
+void KSelectStructure::broadcast_all_filters(SimContext& ctx) {
+  // One broadcast: every node derives its filter from its (server-known)
+  // activity/band plus the public floor.
+  ctx.broadcast_filters([this](const Node& node) {
+    return active_[node.id()] ? band_filter(node.id()) : inactive_filter();
+  });
+}
+
+void KSelectStructure::start(SimContext& ctx) {
+  n_ = ctx.n();
+  k_ = ctx.k();
+  ++rebuilds_;
+  ladder_.reset(ctx.epsilon());
+  active_.assign(n_, 0);
+  band_lo_.assign(n_, 0);
+  band_hi_.assign(n_, 0);
+  last_report_.assign(n_, 0);
+  active_count_ = 0;
+  estimates_.assign(k_, 0);
+  order_.reserve(n_);
+
+  // Seed: the k-th largest value picks the activation floor — every top-k
+  // node sits at or above its band's lower boundary, so the enumeration
+  // below finds at least k actives (invariant I3).
+  const ProbeInfo info = probe_top_k_plus_1(ctx);
+  act_lo_ = ladder_.band_lo(info.vk);
+  const Value floor = act_lo_;
+  const auto found = enumerate_nodes(
+      ctx, [floor](const Node& node) { return node.value() >= floor; });
+  for (const auto& [id, value] : found) {
+    activate(id, value);
+  }
+  TOPKMON_ASSERT_MSG(active_count_ >= k_, "k-select seed missed top-k nodes");
+  compact_if_needed();
+  broadcast_all_filters(ctx);
+  dirty_ = true;
+  // No violation can survive the broadcast (enumerated nodes got their own
+  // band, the rest sit below the floor), but recovery restarts land here
+  // with arbitrary prior state — drain defensively like TOPKPROTOCOL does.
+  on_step(ctx);
+}
+
+void KSelectStructure::on_step(SimContext& ctx) {
+  drain_violations(ctx, [&](NodeId id, Value value, Violation side) {
+    handle(ctx, id, value, side);
+  });
+  refresh_queries();
+}
+
+void KSelectStructure::handle(SimContext& ctx, NodeId id, Value value,
+                              Violation side) {
+  dirty_ = true;
+  last_report_[id] = value;
+  if (!active_[id]) {
+    // Inactive filters have lo = 0: only an upward escape is possible, and
+    // it lands strictly above the floor band.
+    TOPKMON_ASSERT(side == Violation::kFromBelow);
+    activate(id, value);
+    ctx.set_filter_free(id, band_filter(id));
+    if (compact_if_needed()) {
+      broadcast_all_filters(ctx);
+    }
+    return;
+  }
+  if (value >= act_lo_) {
+    // Active node moved to another band at or above the floor: re-band.
+    // The node derives the new filter from its own value; the report
+    // itself was booked by collect_violations.
+    band_lo_[id] = ladder_.band_lo(value);
+    band_hi_[id] = ladder_.band_hi(value);
+    ctx.set_filter_free(id, band_filter(id));
+    return;
+  }
+  // Active node sank below the floor (act_lo_ > 0 here, else value ≥ 0 ≥
+  // act_lo_ would have hit the branch above).
+  deactivate(id);
+  ctx.set_filter_free(id, inactive_filter());
+  if (active_count_ < k_) {
+    refill(ctx);
+    broadcast_all_filters(ctx);
+  }
+}
+
+void KSelectStructure::refill(SimContext& ctx) {
+  ++floor_lowerings_;
+  while (active_count_ < k_) {
+    TOPKMON_ASSERT_MSG(act_lo_ > 0, "k-select refill ran out of nodes");
+    // One band down: the enumeration uncovers the quiescent occupants of
+    // the next band, plus any not-yet-drained riser above it (banded by its
+    // own value, so absorbing it here is equivalent to draining it later).
+    const Value new_lo = ladder_.band_lo(act_lo_ - 1);
+    const auto found =
+        enumerate_nodes(ctx, [this, new_lo](const Node& node) {
+          return !active_[node.id()] && node.value() >= new_lo;
+        });
+    act_lo_ = new_lo;
+    for (const auto& [id, value] : found) {
+      activate(id, value);
+    }
+  }
+}
+
+bool KSelectStructure::compact_if_needed() {
+  const std::size_t limit = std::max<std::size_t>(4 * k_, 8);
+  if (active_count_ <= limit) {
+    return false;
+  }
+  // New floor: the 2k-th highest active band. Ties at the boundary stay
+  // active, so at least 2k ≥ k survive; everything strictly below folds
+  // into the (now wider) inactive filter.
+  const std::size_t keep = std::max<std::size_t>(2 * k_, 4);
+  order_.clear();
+  for (NodeId i = 0; i < n_; ++i) {
+    if (active_[i]) {
+      order_.push_back(i);
+    }
+  }
+  std::nth_element(order_.begin(), order_.begin() + (keep - 1), order_.end(),
+                   [this](NodeId a, NodeId b) { return band_lo_[a] > band_lo_[b]; });
+  const Value cand = band_lo_[order_[keep - 1]];
+  if (cand <= act_lo_) {
+    return false;  // massive ties at the floor band; nothing to drop
+  }
+  ++floor_raises_;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (active_[i] && band_lo_[i] < cand) {
+      deactivate(i);
+    }
+  }
+  act_lo_ = cand;
+  return true;
+}
+
+void KSelectStructure::refresh_queries() {
+  if (!dirty_) {
+    return;
+  }
+  dirty_ = false;
+  order_.clear();
+  for (NodeId i = 0; i < n_; ++i) {
+    if (active_[i]) {
+      order_.push_back(i);
+    }
+  }
+  TOPKMON_ASSERT(order_.size() >= k_);
+  // Band-first order is what the validity proofs in the header use; the
+  // within-band tie-break (freshest report, then id) keeps ε = 0 exact and
+  // matches the oracle's ranking on unit bands.
+  std::sort(order_.begin(), order_.end(), [this](NodeId a, NodeId b) {
+    if (band_lo_[a] != band_lo_[b]) return band_lo_[a] > band_lo_[b];
+    if (last_report_[a] != last_report_[b]) return last_report_[a] > last_report_[b];
+    return a < b;
+  });
+  output_.assign(order_.begin(), order_.begin() + k_);
+  std::sort(output_.begin(), output_.end());
+  for (std::size_t j = 0; j < k_; ++j) {
+    estimates_[j] = band_lo_[order_[j]];
+  }
+}
+
+Value KSelectStructure::kselect(std::size_t j) const {
+  TOPKMON_ASSERT_MSG(j >= 1 && j <= k_, "kselect rank out of range");
+  return estimates_[j - 1];
+}
+
+}  // namespace topkmon

@@ -1,0 +1,143 @@
+// KSELECTSTRUCTURE — the communication-efficient distributed top-k /
+// k-select data structure of Biermeier–Feldkord–Malatyali–Meyer auf der
+// Heide (arXiv:1709.07259), adapted to this repo's filter/EXISTENCE model.
+//
+// Where the source paper's protocols track top-k *positions* for a single
+// k, this structure maintains enough sketch to answer, at every step and
+// without further communication,
+//   * the top-k-position query (MonitoringProtocol::output), and
+//   * ε-approximate j-select queries for every 1 ≤ j ≤ k
+//     (KSelectQueries::kselect): a value v̂ with (1−ε)·v_j ≤ v̂ ≤ v_j,
+//     which in particular lies in the ε-neighborhood A_j(t).
+//
+// The maintenance core is a geometric BAND LADDER over the integer value
+// domain: half-open bands [b_i, b_{i+1}) with b_0 = 0, b_1 = 1 and
+// b_{i+1} = ⌊b_i/(1−ε)⌋ + 1, so every band satisfies the width condition
+//   lo ≥ (1−ε)·(hi − 1).                                   (W)
+// The ladder is a pure function of ε — both sides compute it locally, so a
+// node can derive its own filter from its value plus the broadcast floor
+// (ctx.set_filter_free, the DENSEPROTOCOL idiom; the value itself arrived
+// as an accounted violation report).
+//
+// Server state: an ACTIVE set of nodes known to the band they occupy, and
+// an activation floor act_lo (a band boundary). Invariants after every hook:
+//   I1  active node i has filter [band_lo(i), band_hi(i) − 1] and its value
+//       inside; band_lo(i) ≥ act_lo.
+//   I2  inactive nodes share the filter [0, act_lo − 1] (none when
+//       act_lo = 0, where everyone is active).
+//   I3  |active| ≥ k.
+// Filters are pairwise valid per Observation 2.2 directly from (W): any
+// F ⊆ active chosen by descending band order gives lo_i ≥ (1−ε)·hi_j for
+// all i ∈ F, j ∉ F — including inactive j, whose hi = act_lo − 1 < lo_i.
+//
+// Maintenance, entirely violation-driven (drain_violations):
+//   * inactive node rises past act_lo − 1 → activate into band(v);
+//   * active node leaves its band upward or sideways above the floor →
+//     re-band (filter re-derived node-side, 0 server messages);
+//   * active node falls below act_lo → deactivate; if |active| < k, lower
+//     the floor band by band, EXISTENCE-enumerating each uncovered band
+//     (O(#found + 1) expected messages), then one filter broadcast;
+//   * |active| > max(4k, 8) → raise the floor to the 2k-th active band and
+//     drop the tail with one filter broadcast (compaction keeps the
+//     structure size O(k) between floor moves).
+//
+// Query answers: order active nodes by (band_lo desc, last report desc, id
+// asc); F = first k, and kselect(j) = band_lo of the j-th. Bounds: at least
+// j actives have value ≥ band_lo(c_j) (upper), and some true top-j node d
+// has band ≤ band(c_j) — active or below the floor ≤ band(c_j) — so (W)
+// gives band_lo(c_j) ≥ (1−ε)·(band_hi − 1) ≥ (1−ε)·v_d ≥ (1−ε)·v_j (lower).
+// With ε = 0 the ladder degenerates to unit bands and both queries are
+// exact. Very small ε > 0 would need a huge ladder; ladders past
+// kMaxLadderSize boundaries fall back to unit bands (deterministic in ε
+// alone, so both sides agree) — correct, merely chattier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/generic_framework.hpp"
+#include "sim/protocol.hpp"
+
+namespace topkmon {
+
+/// The geometric value grid shared (conceptually) by server and nodes: a
+/// pure function of ε, never communicated. Bands are half-open integer
+/// intervals [band_lo(v), band_hi(v)) covering [0, kMaxObservableValue].
+class BandLadder {
+ public:
+  /// Ladders needing more boundaries than this fall back to unit bands
+  /// ([v, v+1), always correct). Deterministic in ε alone.
+  static constexpr std::size_t kMaxLadderSize = std::size_t{1} << 20;
+
+  /// (Re)builds the ladder for ε ∈ [0, 1). ε = 0 always means unit bands.
+  void reset(double epsilon);
+
+  /// Lower boundary of the band containing v (v ≤ kMaxObservableValue).
+  Value band_lo(Value v) const;
+
+  /// Exclusive upper boundary of the band containing v.
+  Value band_hi(Value v) const;
+
+  bool unit_bands() const { return boundaries_.empty(); }
+  std::size_t size() const { return boundaries_.size(); }
+
+ private:
+  std::vector<Value> boundaries_;  ///< sorted band lower bounds; empty = unit
+};
+
+class KSelectStructure : public MonitoringProtocol, public KSelectQueries {
+ public:
+  void start(SimContext& ctx) override;
+  void on_step(SimContext& ctx) override;
+  const OutputSet& output() const override { return output_; }
+  std::string_view name() const override { return "kselect"; }
+
+  std::size_t kselect_max_rank() const override { return k_; }
+  Value kselect(std::size_t j) const override;
+
+  // Introspection for tests/benches.
+  const BandLadder& ladder() const { return ladder_; }
+  std::size_t active_count() const { return active_count_; }
+  bool is_active(NodeId i) const { return active_[i] != 0; }
+  Value node_band_lo(NodeId i) const { return band_lo_[i]; }
+  Value activation_floor() const { return act_lo_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  std::uint64_t floor_lowerings() const { return floor_lowerings_; }
+  std::uint64_t floor_raises() const { return floor_raises_; }
+
+ private:
+  void handle(SimContext& ctx, NodeId id, Value value, Violation side);
+  void activate(NodeId id, Value value);
+  void deactivate(NodeId id);
+  /// Lowers act_lo_ band by band until |active| ≥ k (reaches 0 in the worst
+  /// case, where every node activates). Caller broadcasts filters after.
+  void refill(SimContext& ctx);
+  /// Raises act_lo_ to the 2k-th active band when |active| > max(4k, 8);
+  /// true if the floor moved (caller broadcasts filters).
+  bool compact_if_needed();
+  void broadcast_all_filters(SimContext& ctx);
+  Filter band_filter(NodeId id) const;
+  Filter inactive_filter() const;
+  /// Rebuilds output_ + estimates_ from the active set (band_lo desc, last
+  /// report desc, id asc); no-op unless a violation dirtied the state.
+  void refresh_queries();
+
+  BandLadder ladder_;
+  std::size_t n_ = 0;
+  std::size_t k_ = 0;
+  Value act_lo_ = 0;             ///< activation floor (band boundary; 0 = all active)
+  std::vector<std::uint8_t> active_;
+  std::vector<Value> band_lo_;   ///< per-node band, valid while active
+  std::vector<Value> band_hi_;
+  std::vector<Value> last_report_;
+  std::size_t active_count_ = 0;
+  std::vector<NodeId> order_;    ///< scratch: actives in query order
+  OutputSet output_;
+  std::vector<Value> estimates_; ///< kselect(j) = estimates_[j−1]
+  bool dirty_ = false;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t floor_lowerings_ = 0;
+  std::uint64_t floor_raises_ = 0;
+};
+
+}  // namespace topkmon

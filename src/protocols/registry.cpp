@@ -7,6 +7,7 @@
 #include "protocols/combined.hpp"
 #include "protocols/exact_topk.hpp"
 #include "protocols/half_error.hpp"
+#include "protocols/kselect_structure.hpp"
 #include "protocols/naive.hpp"
 #include "protocols/topk_protocol.hpp"
 
@@ -34,6 +35,7 @@ Registry& registry_locked() {
     add_builtin<CombinedMonitor>(r);
     add_builtin<ExactTopKMonitor>(r);
     add_builtin<HalfErrorMonitor>(r);
+    add_builtin<KSelectStructure>(r);
     add_builtin<NaiveCentralMonitor>(r);
     add_builtin<NaiveChangeMonitor>(r);
     add_builtin<TopKProtocol>(r);

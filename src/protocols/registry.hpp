@@ -25,7 +25,8 @@ void register_protocol(const std::string& name, ProtocolFactory factory);
 
 /// Constructs the monitoring protocol named `name`; throws
 /// std::runtime_error for unknown names. Built-in names: combined,
-/// exact_topk, half_error, naive_central, naive_change, topk_protocol.
+/// exact_topk, half_error, kselect, naive_central, naive_change,
+/// topk_protocol.
 std::unique_ptr<MonitoringProtocol> make_protocol(const std::string& name);
 
 /// All registered protocol names, sorted ascending, no duplicates.

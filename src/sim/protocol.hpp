@@ -49,4 +49,30 @@ class MonitoringProtocol {
   virtual std::string_view name() const = 0;
 };
 
+/// Optional query surface for protocols that also answer approximate
+/// k-select (k-th value) queries, in the sense of Biermeier et al.
+/// (arXiv:1709.07259): after every simulator hook, kselect(j) must return a
+/// value inside the ε-neighborhood A_j(t) = [(1−ε)·v_j, v_j/(1−ε)] of the
+/// true j-th largest value, for every 1 ≤ j ≤ kselect_max_rank(). The
+/// strict-mode validator and the differential fuzz harness check exactly
+/// this via Oracle::kselect_valid. Protocols opt in by inheriting from both
+/// MonitoringProtocol and KSelectQueries; callers discover the surface with
+/// as_kselect() below.
+class KSelectQueries {
+ public:
+  virtual ~KSelectQueries() = default;
+
+  /// Largest supported rank j (the structure's k unless documented wider).
+  virtual std::size_t kselect_max_rank() const = 0;
+
+  /// The ε-approximate j-th largest value, 1-based, j ≤ kselect_max_rank().
+  virtual Value kselect(std::size_t j) const = 0;
+};
+
+/// The protocol's k-select surface, or nullptr when it only serves top-k
+/// positions. Non-owning; valid as long as the protocol lives.
+inline const KSelectQueries* as_kselect(const MonitoringProtocol& p) {
+  return dynamic_cast<const KSelectQueries*>(&p);
+}
+
 }  // namespace topkmon

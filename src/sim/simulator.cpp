@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "model/oracle.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
@@ -226,6 +228,21 @@ void Simulator::validate_strict(const ValueVector& values) {
                  std::span<const Value>(values.data(), values.size())),
       ("protocol left unresolved filter violations at t=" + std::to_string(next_t_))
           .c_str());
+
+  // Protocols that additionally serve k-select (KSelectQueries) must keep
+  // every supported rank's estimate inside the oracle's ε-neighborhood.
+  if (const KSelectQueries* q = as_kselect(*protocol_)) {
+    const std::size_t jmax = std::min(q->kselect_max_rank(), cfg_.k);
+    for (std::size_t j = 1; j <= jmax; ++j) {
+      const std::string bad =
+          Oracle::explain_kselect_invalid(values, j, cfg_.epsilon, q->kselect(j));
+      TOPKMON_ASSERT_MSG(
+          bad.empty(), ("k-select estimate invalid at t=" + std::to_string(next_t_) +
+                        " j=" + std::to_string(j) + " [" +
+                        std::string(protocol_->name()) + "]: " + bad)
+                           .c_str());
+    }
+  }
 }
 
 RunResult Simulator::run(TimeStep steps) {

@@ -9,6 +9,9 @@
 //     the values the fleet actually holds (windowed and faulted);
 //   * filter soundness: the filter set is valid (Obs. 2.2) and quiescent;
 //   * exactness: exact_topk's output IS the exact top-k set;
+//   * k-select validity: protocols serving KSelectQueries (the kselect
+//     structure) keep every rank's estimate inside the oracle's
+//     ε-neighborhood, every step;
 //   * window differential: the windowed run's observed values equal the
 //     naive window maximum over a reference unwindowed run of the same
 //     (seed, stream, faults) — the monotonic-deque pipeline vs O(W)
@@ -20,6 +23,7 @@
 // pushes and pins it on PRs); the tuple count via TOPKMON_FUZZ_CONFIGS.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -187,7 +191,23 @@ bool run_config(const FuzzConfig& c) {
       return false;
     }
 
-    // (4) Filter soundness: valid per Obs. 2.2 and quiescent.
+    // (4) K-select estimates (when the protocol serves them) vs the oracle,
+    //     for every supported rank.
+    if (const KSelectQueries* q = as_kselect(sim.protocol())) {
+      const std::size_t jmax = std::min(q->kselect_max_rank(), c.k);
+      for (std::size_t j = 1; j <= jmax; ++j) {
+        const std::string bad =
+            Oracle::explain_kselect_invalid(values, j, c.epsilon, q->kselect(j));
+        if (!bad.empty()) {
+          ADD_FAILURE() << "invalid k-select estimate at t=" << t << " j=" << j
+                        << " [" << c.protocol << "]: " << bad
+                        << "\n  repro: " << reproducer(c);
+          return false;
+        }
+      }
+    }
+
+    // (5) Filter soundness: valid per Obs. 2.2 and quiescent.
     std::vector<Filter> filters;
     filters.reserve(sim.context().n());
     for (const Node& node : sim.context().nodes()) {
@@ -264,6 +284,17 @@ bool run_network_config(const FuzzConfig& c, std::uint32_t hosts) {
   if (rep.output != sim.protocol().output()) {
     ADD_FAILURE() << "networked output diverges\n  repro: " << reproducer(c);
     return false;
+  }
+  if (const KSelectQueries* q = as_kselect(sim.protocol())) {
+    std::vector<Value> expected_est;
+    for (std::size_t j = 1; j <= std::min(q->kselect_max_rank(), c.k); ++j) {
+      expected_est.push_back(q->kselect(j));
+    }
+    if (rep.kselect_estimates != expected_est) {
+      ADD_FAILURE() << "networked k-select estimates diverge\n  repro: "
+                    << reproducer(c);
+      return false;
+    }
   }
   StatsSnapshot model = rep.run;
   model.net = NetChannelStats{};  // wire counters are networked-only

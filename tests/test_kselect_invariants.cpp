@@ -1,0 +1,340 @@
+// Property suite for the k-select structure (protocols/kselect_structure):
+//   * BandLadder geometry: the width condition lo ≥ (1−ε)·(hi − 1) on every
+//     band, gap-free coverage of [0, kMaxObservableValue], and the unit-band
+//     degeneracies (ε = 0 exactly; ε too small for kMaxLadderSize).
+//   * Answer validity: every rank's estimate stays inside the oracle's
+//     ε-neighborhood at every step — and inside the structure's tighter
+//     one-sided bound (1−ε)·v_j ≤ est ≤ v_j — across streams and seeds.
+//   * White-box invariants I1–I3 after every step: active filters are the
+//     node's band clipped at band_hi − 1 with band ≥ floor, inactive filters
+//     are [0, act_lo − 1], and the active set never shrinks below k.
+//   * W = 1 degeneracy: a 1-step sliding window is the instantaneous run —
+//     outputs, estimates and message totals match step by step.
+//   * Engine seam: a Q = 1 engine query (share_probes = false, explicit
+//     seed) reproduces the standalone Simulator bit-identically, estimates
+//     included.
+//   * All-zero fault schedule: attaching a no-op FleetSchedule leaves the
+//     run bit-identical to the fault-free path.
+//   * Offline baseline: the greedy KSelectOpt phase count equals the O(T²)
+//     DP minimum on recorded histories and hand-crafted traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "model/oracle.hpp"
+#include "offline/brute_force.hpp"
+#include "offline/kselect_opt.hpp"
+#include "protocols/kselect_structure.hpp"
+#include "protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "streams/registry.hpp"
+
+namespace topkmon {
+namespace {
+
+StreamSpec spec_for(const std::string& kind, std::size_t n = 20,
+                    std::size_t k = 4, double eps = 0.15) {
+  StreamSpec spec;
+  spec.kind = kind;
+  spec.n = n;
+  spec.k = k;
+  spec.epsilon = eps;
+  spec.delta = 1 << 16;
+  spec.walk_step = 96;
+  spec.sigma = 8;
+  return spec;
+}
+
+/// The effective (post-fault, post-window) observation vector the protocol
+/// is being validated against.
+std::vector<Value> observed_values(const Simulator& sim) {
+  std::vector<Value> values;
+  values.reserve(sim.context().n());
+  for (const Node& node : sim.context().nodes()) values.push_back(node.value());
+  return values;
+}
+
+// --- BandLadder geometry ----------------------------------------------------
+
+TEST(BandLadder, EveryBandSatisfiesTheWidthCondition) {
+  for (const double eps : {0.05, 0.1, 0.15, 0.25, 0.5}) {
+    BandLadder ladder;
+    ladder.reset(eps);
+    ASSERT_FALSE(ladder.unit_bands()) << "eps=" << eps;
+    // Walk the ladder band by band: coverage is gap-free (band_hi of one
+    // band is band_lo of the next) and every band satisfies (W).
+    Value v = 0;
+    std::size_t bands = 0;
+    while (v <= kMaxObservableValue) {
+      const Value lo = ladder.band_lo(v);
+      const Value hi = ladder.band_hi(v);
+      ASSERT_LE(lo, v) << "eps=" << eps;
+      ASSERT_GT(hi, v) << "eps=" << eps;
+      EXPECT_GE(static_cast<double>(lo),
+                (1.0 - eps) * static_cast<double>(hi - 1))
+          << "band [" << lo << ", " << hi << ") violates (W) at eps=" << eps;
+      if (hi <= kMaxObservableValue) {
+        EXPECT_EQ(ladder.band_lo(hi), hi) << "gap after band at eps=" << eps;
+      }
+      v = hi;
+      ++bands;
+      ASSERT_LE(bands, BandLadder::kMaxLadderSize) << "runaway walk";
+    }
+    EXPECT_EQ(bands, ladder.size()) << "eps=" << eps;
+  }
+}
+
+TEST(BandLadder, DegeneratesToUnitBands) {
+  BandLadder exact;
+  exact.reset(0.0);
+  EXPECT_TRUE(exact.unit_bands());
+  for (const Value v : {Value{0}, Value{1}, Value{12345}, kMaxObservableValue}) {
+    EXPECT_EQ(exact.band_lo(v), v);
+    EXPECT_EQ(exact.band_hi(v), v + 1);
+  }
+  // ε so small the ladder would need far more than kMaxLadderSize
+  // boundaries to reach 2^48: deterministic fallback to unit bands.
+  BandLadder tiny;
+  tiny.reset(1e-9);
+  EXPECT_TRUE(tiny.unit_bands());
+}
+
+// --- step-by-step properties ------------------------------------------------
+
+void check_structure_invariants(const KSelectStructure& proto,
+                                const SimContext& ctx) {
+  const std::size_t n = ctx.n();
+  const Value floor = proto.activation_floor();
+  std::size_t active = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    const Filter& f = ctx.nodes()[i].filter();
+    if (proto.is_active(i)) {
+      ++active;
+      const Value lo = proto.node_band_lo(i);
+      ASSERT_GE(lo, floor) << "active node " << i << " below the floor";
+      EXPECT_EQ(f.lo, static_cast<double>(lo)) << "node " << i;
+      EXPECT_EQ(f.hi, static_cast<double>(proto.ladder().band_hi(lo) - 1))
+          << "node " << i;
+    } else {
+      ASSERT_GT(floor, 0u) << "inactive node " << i << " with floor 0";
+      EXPECT_EQ(f.lo, 0.0) << "node " << i;
+      EXPECT_EQ(f.hi, static_cast<double>(floor - 1)) << "node " << i;
+    }
+  }
+  EXPECT_EQ(active, proto.active_count());
+  EXPECT_GE(active, ctx.k()) << "I3: fewer than k active nodes";
+}
+
+class KSelectProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(KSelectProperties, EstimatesAndInvariantsHoldAtEveryStep) {
+  const auto& [kind, seed] = GetParam();
+  const StreamSpec spec = spec_for(kind);
+  auto protocol = std::make_unique<KSelectStructure>();
+  auto* proto = protocol.get();
+  SimConfig cfg;
+  cfg.k = spec.k;
+  cfg.epsilon = spec.epsilon;
+  cfg.seed = seed;
+  cfg.strict = true;  // oracle output/filter/k-select validation per step
+  Simulator sim(cfg, make_stream(spec), std::move(protocol));
+  for (int t = 0; t < 300; ++t) {
+    sim.step();
+    check_structure_invariants(*proto, sim.context());
+    // The structure promises MORE than the symmetric oracle contract:
+    // (1−ε)·v_j ≤ estimate ≤ v_j for every rank, in the ε-helpers'
+    // multiplication form.
+    const std::vector<Value> values = observed_values(sim);
+    for (std::size_t j = 1; j <= cfg.k; ++j) {
+      const Value est = proto->kselect(j);
+      const Value vj = Oracle::kth_value(values, j);
+      EXPECT_LE(est, vj) << "j=" << j;
+      EXPECT_GE(static_cast<double>(est),
+                (1.0 - cfg.epsilon) * static_cast<double>(vj))
+          << "j=" << j;
+      EXPECT_EQ(Oracle::explain_kselect_invalid(values, j, cfg.epsilon, est), "");
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "property broken at t=" << t << " (" << kind << ", seed "
+             << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StreamsAndSeeds, KSelectProperties,
+    ::testing::Combine(::testing::Values("oscillating", "zipf_bursty",
+                                         "random_walk", "sine_noise"),
+                       ::testing::Values(1u, 42u, 1337u)));
+
+TEST(KSelectProperties, EpsilonZeroIsExact) {
+  const StreamSpec spec = spec_for("random_walk", 16, 3, 0.0);
+  auto protocol = std::make_unique<KSelectStructure>();
+  auto* proto = protocol.get();
+  SimConfig cfg;
+  cfg.k = 3;
+  cfg.epsilon = 0.0;
+  cfg.seed = 7;
+  cfg.strict = true;
+  Simulator sim(cfg, make_stream(spec), std::move(protocol));
+  for (int t = 0; t < 200; ++t) {
+    sim.step();
+    const std::vector<Value> values = observed_values(sim);
+    EXPECT_EQ(proto->output(), Oracle::top_k(values, cfg.k)) << "t=" << t;
+    for (std::size_t j = 1; j <= cfg.k; ++j) {
+      EXPECT_EQ(proto->kselect(j), Oracle::kth_value(values, j))
+          << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+// --- degeneracies and seams --------------------------------------------------
+
+TEST(KSelectProperties, OneStepWindowMatchesInstantaneousRun) {
+  // max over the last 1 step IS the instantaneous value; the runs must agree
+  // on outputs, estimates and message totals at every step.
+  const StreamSpec spec = spec_for("oscillating");
+  auto make_sim = [&](std::size_t window) {
+    SimConfig cfg;
+    cfg.k = spec.k;
+    cfg.epsilon = spec.epsilon;
+    cfg.seed = 11;
+    cfg.strict = true;
+    cfg.window = window;
+    return std::make_unique<Simulator>(cfg, make_stream(spec),
+                                       make_protocol("kselect"));
+  };
+  auto instant = make_sim(kInfiniteWindow);
+  auto windowed = make_sim(1);
+  const auto* qi = as_kselect(instant->protocol());
+  const auto* qw = as_kselect(windowed->protocol());
+  ASSERT_NE(qi, nullptr);
+  ASSERT_NE(qw, nullptr);
+  for (int t = 0; t < 250; ++t) {
+    instant->step();
+    windowed->step();
+    ASSERT_EQ(instant->protocol().output(), windowed->protocol().output())
+        << "t=" << t;
+    for (std::size_t j = 1; j <= spec.k; ++j) {
+      ASSERT_EQ(qi->kselect(j), qw->kselect(j)) << "t=" << t << " j=" << j;
+    }
+  }
+  EXPECT_EQ(instant->result().messages, windowed->result().messages);
+  EXPECT_EQ(instant->result().by_tag, windowed->result().by_tag);
+}
+
+TEST(KSelectProperties, EngineQueryMatchesStandaloneSimulator) {
+  const StreamSpec spec = spec_for("zipf_bursty", 24, 4);
+  const std::uint64_t seed = 99;
+
+  SimConfig sim_cfg;
+  sim_cfg.k = spec.k;
+  sim_cfg.epsilon = spec.epsilon;
+  sim_cfg.seed = seed;
+  sim_cfg.strict = true;
+  Simulator sim(sim_cfg, make_stream(spec), make_protocol("kselect"));
+  const RunResult serial = sim.run(150);
+
+  EngineConfig ecfg;
+  ecfg.threads = 1;
+  ecfg.seed = seed;
+  ecfg.share_probes = false;  // per-query accounting, like a Simulator
+  MonitoringEngine engine(ecfg, make_stream(spec));
+  QuerySpec q;
+  q.protocol = "kselect";
+  q.k = spec.k;
+  q.epsilon = spec.epsilon;
+  q.strict = true;
+  q.seed = seed;  // exactly the standalone seed
+  const QueryHandle h = engine.add_query(q);
+  const EngineStats stats = engine.run(150);
+
+  EXPECT_EQ(stats.queries[h].run.messages, serial.messages);
+  EXPECT_EQ(stats.queries[h].run.by_tag, serial.by_tag);
+  EXPECT_EQ(engine.output(h), sim.protocol().output());
+  const KSelectQueries* eq = engine.kselect(h);
+  const KSelectQueries* sq = as_kselect(sim.protocol());
+  ASSERT_NE(eq, nullptr);
+  ASSERT_NE(sq, nullptr);
+  for (std::size_t j = 1; j <= spec.k; ++j) {
+    EXPECT_EQ(eq->kselect(j), sq->kselect(j)) << "j=" << j;
+  }
+}
+
+TEST(KSelectProperties, AllZeroFaultScheduleIsBitIdentical) {
+  const StreamSpec spec = spec_for("random_walk");
+  auto run_with = [&](FleetSchedulePtr faults) {
+    SimConfig cfg;
+    cfg.k = spec.k;
+    cfg.epsilon = spec.epsilon;
+    cfg.seed = 23;
+    cfg.strict = true;
+    cfg.faults = std::move(faults);
+    Simulator sim(cfg, make_stream(spec), make_protocol("kselect"));
+    const RunResult run = sim.run(200);
+    std::vector<Value> estimates;
+    const KSelectQueries* q = as_kselect(sim.protocol());
+    for (std::size_t j = 1; j <= spec.k; ++j) estimates.push_back(q->kselect(j));
+    return std::tuple<StatsSnapshot, OutputSet, std::vector<Value>>(
+        run, sim.protocol().output(), std::move(estimates));
+  };
+  const auto clean = run_with(nullptr);
+  const auto zeroed = run_with(std::make_shared<const FleetSchedule>(spec.n));
+  EXPECT_EQ(std::get<0>(clean), std::get<0>(zeroed));
+  EXPECT_EQ(std::get<1>(clean), std::get<1>(zeroed));
+  EXPECT_EQ(std::get<2>(clean), std::get<2>(zeroed));
+}
+
+// --- offline baseline ---------------------------------------------------------
+
+TEST(KSelectOpt, GreedyMatchesTheDpMinimumOnRecordedHistories) {
+  for (const std::string kind : {"oscillating", "random_walk", "zipf_bursty"}) {
+    for (const double eps : {0.0, 0.1, 0.25}) {
+      const StreamSpec spec = spec_for(kind, 12, 3, std::max(eps, 0.05));
+      SimConfig cfg;
+      cfg.k = 3;
+      cfg.epsilon = spec.epsilon;
+      cfg.seed = 17;
+      cfg.record_history = true;
+      Simulator sim(cfg, make_stream(spec), make_protocol("kselect"));
+      sim.run(60);
+      const KSelectOptReport rep = KSelectOpt::approx(sim.history(), cfg.k, eps);
+      EXPECT_EQ(rep.phases, min_kselect_phases_brute(sim.history(), cfg.k, eps))
+          << kind << " eps=" << eps;
+      EXPECT_EQ(rep.phases, rep.phase_starts.size());
+      EXPECT_EQ(rep.messages_lower_bound, rep.phases);
+    }
+  }
+}
+
+TEST(KSelectOpt, HandCraftedTraces) {
+  // Constant k-th value: one phase at any ε.
+  std::vector<ValueVector> flat(10, ValueVector{100, 90, 80, 70});
+  EXPECT_EQ(KSelectOpt::approx(flat, 2, 0.1).phases, 1u);
+  EXPECT_EQ(min_kselect_phases_brute(flat, 2, 0.1), 1u);
+
+  // v_2 doubles every row — no window of two rows satisfies (★k) at
+  // ε = 0.1, so OPT pays one phase per row.
+  std::vector<ValueVector> jumps;
+  Value v = 64;
+  for (int t = 0; t < 6; ++t, v *= 2) jumps.push_back({v + 1, v, 1, 0});
+  EXPECT_EQ(KSelectOpt::approx(jumps, 2, 0.1).phases, jumps.size());
+  EXPECT_EQ(min_kselect_phases_brute(jumps, 2, 0.1), jumps.size());
+
+  // ε = 0 degenerates to one phase per distinct v_k run.
+  std::vector<ValueVector> runs;
+  for (const Value vk : {Value{50}, Value{50}, Value{51}, Value{51}, Value{50}}) {
+    runs.push_back({100, vk, 1});
+  }
+  EXPECT_EQ(KSelectOpt::approx(runs, 2, 0.0).phases, 3u);
+  EXPECT_EQ(min_kselect_phases_brute(runs, 2, 0.0), 3u);
+}
+
+}  // namespace
+}  // namespace topkmon

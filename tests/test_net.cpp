@@ -11,6 +11,7 @@
 // recovery rounds), and smoke the TCP transport end to end.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -44,8 +45,22 @@ RunSpec base_spec() {
   return spec;
 }
 
+/// Final kselect(1..k) of a protocol that serves KSelectQueries; empty
+/// otherwise. Mirrors how InprocNetReport::kselect_estimates is filled.
+std::vector<Value> kselect_estimates_of(const MonitoringProtocol& protocol,
+                                        std::size_t k) {
+  std::vector<Value> estimates;
+  if (const KSelectQueries* q = as_kselect(protocol)) {
+    for (std::size_t j = 1; j <= std::min(q->kselect_max_rank(), k); ++j) {
+      estimates.push_back(q->kselect(j));
+    }
+  }
+  return estimates;
+}
+
 /// The oracle: the standalone in-process Simulator on the same spec.
-RunResult standalone_run(const RunSpec& spec, OutputSet* output = nullptr) {
+RunResult standalone_run(const RunSpec& spec, OutputSet* output = nullptr,
+                         std::vector<Value>* estimates = nullptr) {
   SimConfig cfg;
   cfg.k = spec.stream.k;
   cfg.epsilon = spec.protocol_epsilon;
@@ -55,6 +70,9 @@ RunResult standalone_run(const RunSpec& spec, OutputSet* output = nullptr) {
   Simulator sim(cfg, make_stream(spec.stream), make_protocol(spec.protocol));
   const RunResult run = sim.run(spec.steps);
   if (output != nullptr) *output = sim.protocol().output();
+  if (estimates != nullptr) {
+    *estimates = kselect_estimates_of(sim.protocol(), cfg.k);
+  }
   return run;
 }
 
@@ -108,6 +126,9 @@ TEST(NetRuntime, BitIdentityHoldsAcrossProtocolsStreamsFaultsAndWindows) {
       {"combined", "zipf_bursty", "stragglers", 4, 0.1},
       {"topk_protocol", "oscillating", "flaky", 0, 0.1},
       {"combined", "sine_noise", "datacenter", 32, 0.05},
+      {"kselect", "oscillating", "none", 0, 0.15},
+      {"kselect", "zipf_bursty", "churn", 8, 0.1},
+      {"kselect", "random_walk", "datacenter", 0, 0.05},
   };
   for (const Cell& cell : cells) {
     RunSpec spec = base_spec();
@@ -135,6 +156,31 @@ TEST(NetRuntime, BitIdentityHoldsAcrossProtocolsStreamsFaultsAndWindows) {
         << cell.protocol << "/" << cell.stream << "/" << cell.faults;
     EXPECT_EQ(rep.output, expected_output)
         << cell.protocol << "/" << cell.stream << "/" << cell.faults;
+    expect_model_identical(rep.run, expected);
+  }
+}
+
+TEST(NetRuntime, KSelectEstimatesAreBitIdenticalAcrossHostCounts) {
+  // The k-select structure ships a query surface beyond output(): pin the
+  // whole estimate vector, not just the top-k set, for every host count.
+  for (const std::uint32_t hosts : {1u, 2u, 3u, 5u}) {
+    RunSpec spec = base_spec();
+    spec.protocol = "kselect";
+    spec.protocol_epsilon = 0.15;
+    OutputSet expected_output;
+    std::vector<Value> expected_estimates;
+    const RunResult expected =
+        standalone_run(spec, &expected_output, &expected_estimates);
+    ASSERT_EQ(expected_estimates.size(), spec.stream.k);
+
+    InprocNetOptions opts;
+    opts.hosts = hosts;
+    const InprocNetReport rep = run_networked_inproc(spec, opts);
+
+    for (const int status : rep.host_exit) EXPECT_EQ(status, 0);
+    EXPECT_EQ(rep.quiescence_errors, 0u);
+    EXPECT_EQ(rep.output, expected_output) << "hosts=" << hosts;
+    EXPECT_EQ(rep.kselect_estimates, expected_estimates) << "hosts=" << hosts;
     expect_model_identical(rep.run, expected);
   }
 }
@@ -268,6 +314,54 @@ TEST(NetRuntime, TcpTransportRunsTheFullLockstep) {
     ASSERT_NE(node_hosts[h], nullptr);
     EXPECT_EQ(node_hosts[h]->final_stats(), static_cast<const StatsSnapshot&>(run));
   }
+}
+
+TEST(NetRuntime, TcpTransportServesKSelectBitIdentically) {
+  TcpListener listener;
+  if (!listener.listen(0)) {
+    GTEST_SKIP() << "TCP sockets unavailable in this environment";
+  }
+  const std::uint16_t port = listener.port();
+  RunSpec spec = base_spec();
+  spec.protocol = "kselect";
+  spec.protocol_epsilon = 0.15;
+  spec.steps = 40;
+  const std::uint32_t hosts = 2;
+
+  OutputSet expected_output;
+  std::vector<Value> expected_estimates;
+  const RunResult expected =
+      standalone_run(spec, &expected_output, &expected_estimates);
+
+  std::vector<std::unique_ptr<NodeHost>> node_hosts(hosts);
+  std::vector<int> exits(hosts, -1);
+  std::vector<std::thread> threads;
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    threads.emplace_back([&, h] {
+      std::unique_ptr<Transport> t = tcp_connect("127.0.0.1", port);
+      if (!t) return;
+      node_hosts[h] = std::make_unique<NodeHost>(
+          std::make_unique<Link>(std::move(t)), h, hosts);
+      exits[h] = node_hosts[h]->run();
+    });
+  }
+
+  std::vector<std::unique_ptr<Link>> links;
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    std::unique_ptr<Transport> t = listener.accept();
+    ASSERT_NE(t, nullptr);
+    links.push_back(std::make_unique<Link>(std::move(t)));
+  }
+  NetCoordinator coord(spec, std::move(links));
+  const RunResult run = coord.run();
+  for (std::thread& th : threads) th.join();
+
+  for (const int status : exits) EXPECT_EQ(status, 0);
+  EXPECT_EQ(coord.quiescence_errors(), 0u);
+  EXPECT_EQ(coord.output(), expected_output);
+  EXPECT_EQ(kselect_estimates_of(coord.sim().protocol(), spec.stream.k),
+            expected_estimates);
+  expect_model_identical(run, expected);
 }
 
 TEST(NetRuntime, LoopbackTransportDeliversInOrderAndClosesCleanly) {
