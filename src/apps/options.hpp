@@ -25,11 +25,15 @@
 
 #include <cstdint>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "engine/query.hpp"
 #include "faults/registry.hpp"
 #include "protocols/registry.hpp"
+#include "sim/query_kind.hpp"
 #include "streams/registry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -98,7 +102,7 @@ class Options {
       return ParseResult::kHelp;
     }
     if (flags_.has("list")) {
-      print_registries(out);
+      print_registries(out, flags_.get_string("list", ""));
       return ParseResult::kHelp;
     }
     for (const std::string& given : flags_.names()) {
@@ -124,17 +128,25 @@ class Options {
       if (!b.default_desc.empty()) out << " [" << b.default_desc << "]";
       out << "\n";
     }
-    out << "  --list                  registered protocols, streams and fault presets\n"
+    out << "  --list[=GROUP]          registered protocols, streams, faults, queries\n"
         << "  --help                  this text\n";
   }
 
-  static void print_registries(std::ostream& out) {
+  static void print_registries(std::ostream& out, const std::string& what = "") {
+    if (what == "queries") {
+      out << "queries:  ";
+      for (const auto& q : query_kind_names()) out << " " << q;
+      out << "\n";
+      return;
+    }
     out << "protocols:";
     for (const auto& p : protocol_names()) out << " " << p;
     out << "\nstreams:  ";
     for (const auto& s : stream_kinds()) out << " " << s;
     out << "\nfaults:   ";
     for (const auto& f : fault_preset_names()) out << " " << f;
+    out << "\nqueries:  ";
+    for (const auto& q : query_kind_names()) out << " " << q;
     out << "\n";
   }
 
@@ -254,6 +266,61 @@ inline void add_fault_options(Options& o) {
   o.note("straggler-delay", "max straggler delay (steps)");
   o.note("loss", "per-message drop probability");
   o.note("fault-seed", "fault-trace seed", "1");
+}
+
+/// The shared declarative query surface: every binary that runs monitoring
+/// queries accepts the repeatable `--query KIND[:key=value,...]` flag (kinds
+/// per `--list queries`; parsed by parse_query_spec in engine/query.hpp) plus
+/// the mixed-window toggle that cycles window lengths across the final list.
+struct QueryListOptions {
+  bool mixed_windows = false;  ///< cycle {inf, 16, 64, 256} across queries
+};
+
+inline void add_query_options(Options& o, QueryListOptions& q) {
+  o.note("query",
+         "repeatable query spec KIND[:k=..,eps=..,window=..,bound=..,proto=..,"
+         "seed=..,strict=..,label=..]; kinds per --list queries");
+  o.add_bool("mixed-windows", &q.mixed_windows,
+             "cycle window lengths across queries");
+}
+
+/// Builds an engine's query list: the parsed `--query` specs (or `fallback`
+/// when none were given) cycled up to `q_count` queries; q_count = 0 means
+/// "one per --query spec". --mixed-windows overwrites windows with the
+/// canonical cycle, matching the engine CLI's historical mixed-window runs.
+inline std::vector<QuerySpec> build_query_list(const Flags& flags,
+                                               const QueryListOptions& qopts,
+                                               std::size_t q_count,
+                                               const QuerySpec& fallback) {
+  std::vector<QuerySpec> base;
+  for (const std::string& raw : flags.get_all("query")) {
+    base.push_back(parse_query_spec(raw));
+  }
+  if (base.empty()) base.push_back(fallback);
+  if (q_count == 0) q_count = base.size();
+
+  const std::size_t window_cycle[] = {kInfiniteWindow, 16, 64, 256};
+  std::vector<QuerySpec> out;
+  out.reserve(q_count);
+  for (std::size_t i = 0; i < q_count; ++i) {
+    QuerySpec qs = base[i % base.size()];
+    if (qopts.mixed_windows) {
+      qs.window = window_cycle[i % (sizeof(window_cycle) / sizeof(*window_cycle))];
+    }
+    out.push_back(std::move(qs));
+  }
+  return out;
+}
+
+/// Single-query binaries (topk_sim, topk_coord): the one `--query` spec, or
+/// nullopt when the flag is absent. Throws if given more than once.
+inline std::optional<QuerySpec> single_query_option(const Flags& flags) {
+  const std::vector<std::string> raw = flags.get_all("query");
+  if (raw.empty()) return std::nullopt;
+  if (raw.size() > 1) {
+    throw std::runtime_error("this binary serves one query; give --query once");
+  }
+  return parse_query_spec(raw.front());
 }
 
 /// The shared export/rendering surface.

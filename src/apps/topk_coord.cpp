@@ -42,8 +42,11 @@ namespace {
 
 void report(const RunResult& run, const net::RunSpec& spec,
             std::uint64_t quiescence_errors, const OutputSet& output,
-            const std::vector<Value>& kselect_estimates, std::uint32_t hosts,
-            const std::string& mode, const OutputOptions& out) {
+            const std::vector<Value>& kselect_estimates,
+            const std::optional<std::uint64_t>& distinct_count,
+            const std::optional<std::uint64_t>& threshold_above,
+            std::uint32_t hosts, const std::string& mode,
+            const OutputOptions& out) {
   Table t("topk_coord — " + spec.protocol + " on " + spec.stream.kind + " (n=" +
           std::to_string(spec.stream.n) + ", k=" + std::to_string(spec.stream.k) +
           ", hosts=" + std::to_string(hosts) + ", steps=" +
@@ -80,6 +83,14 @@ void report(const RunResult& run, const net::RunSpec& spec,
     t.add_row({"k-select estimate (j=k)",
                format_count(kselect_estimates.back())});
   }
+  if (distinct_count) {
+    t.add_row({"distinct bands (final)", format_count(*distinct_count)});
+  }
+  if (threshold_above) {
+    t.add_row({"threshold alert (T=" + format_count(spec.threshold) + ")",
+               std::string(*threshold_above > 0 ? "ALERT" : "quiet") + " (" +
+                   format_count(*threshold_above) + " above)"});
+  }
   print_table(t, out);
 }
 
@@ -105,6 +116,9 @@ int main(int argc, char** argv) {
   opts.add_string("protocol", &spec.protocol, "monitoring protocol to run");
   opts.note("protocol-eps", "protocol's ε when it should differ from the stream's",
             "=eps");
+  opts.note("query",
+            "query spec KIND[:k=..,eps=..,window=..,bound=..,proto=..]; "
+            "overrides --protocol/--k/--window (kinds per --list queries)");
   opts.add_uint("seed", &spec.seed, "simulation seed");
   opts.add_size("window", &spec.window,
                 "sliding window W in steps (0 = instantaneous)");
@@ -129,6 +143,17 @@ int main(int argc, char** argv) {
   spec.steps = static_cast<TimeStep>(steps_flag);
 
   try {
+    // One --query spec overrides the flat protocol/k/ε/window/bound flags —
+    // the declarative syntax shared with topk_sim/topk_engine. The RunSpec
+    // carries everything to the node-hosts, threshold included.
+    if (const std::optional<QuerySpec> q = single_query_option(opts.flags())) {
+      spec.protocol = q->protocol;
+      spec.stream.k = q->k;
+      spec.protocol_epsilon = q->epsilon;
+      spec.window = q->window;
+      spec.threshold = q->threshold;
+      if (q->seed) spec.seed = *q->seed;
+    }
     spec.faults = fault_config_from_flags(opts.flags(), spec.steps);
     const std::string err = net::validate_run_spec(spec);
     if (!err.empty()) {
@@ -147,6 +172,8 @@ int main(int argc, char** argv) {
     RunResult run;
     OutputSet output;
     std::vector<Value> kselect_estimates;
+    std::optional<std::uint64_t> distinct_count;
+    std::optional<std::uint64_t> threshold_above;
     std::uint64_t quiescence_errors = 0;
     std::string mode;
 
@@ -182,10 +209,20 @@ int main(int argc, char** argv) {
       run = coord.run();
       output = coord.output();
       quiescence_errors = coord.quiescence_errors();
-      if (const KSelectQueries* q = as_kselect(coord.sim().protocol())) {
+      const MonitoringProtocol& protocol = coord.sim().protocol();
+      if (const QueryCapabilities* q =
+              capability_for(protocol, QueryKind::kKSelect)) {
         for (std::size_t j = 1; j <= coord.sim().config().k; ++j) {
           kselect_estimates.push_back(q->kselect(j));
         }
+      }
+      if (const QueryCapabilities* q =
+              capability_for(protocol, QueryKind::kCountDistinct)) {
+        distinct_count = q->distinct_count();
+      }
+      if (const QueryCapabilities* q =
+              capability_for(protocol, QueryKind::kThreshold)) {
+        threshold_above = q->above_count();
       }
     } else {
       mode = "inproc";
@@ -204,11 +241,14 @@ int main(int argc, char** argv) {
       run = rep.run;
       output = rep.output;
       kselect_estimates = std::move(rep.kselect_estimates);
+      distinct_count = rep.distinct_count;
+      threshold_above = rep.threshold_above;
       quiescence_errors = rep.quiescence_errors;
     }
 
     report(run, spec, quiescence_errors, output, kselect_estimates,
-           static_cast<std::uint32_t>(hosts), mode, out);
+           distinct_count, threshold_above, static_cast<std::uint32_t>(hosts),
+           mode, out);
 
     if (!out.telemetry_json.empty() &&
         telemetry::write_text_file(out.telemetry_json,

@@ -2,18 +2,23 @@
 //
 //   $ topk_engine --q 32 --stream zipf_bursty --n 64 --k 4 --eps 0.1
 //                 --protocol combined --steps 1000 --threads 8 --seed 42
-//                 [--window 64] [--mixed] [--mixed-windows] [--strict]
-//                 [--no-share] [--per-query] [--markdown] [--json]
+//                 [--query KIND:k=..,eps=..,...]... [--window 64] [--mixed]
+//                 [--mixed-windows] [--strict] [--no-share] [--per-query]
+//                 [--markdown] [--json]
 //                 [--telemetry[=telemetry.json]] [--telemetry-prom[=telemetry.prom]]
 //                 [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
 //                 [--straggler-delay 8] [--loss 0.05] [--fault-seed 1]
 //
-// Runs Q concurrent top-k-position queries over one fleet through the
+// Runs Q concurrent monitoring queries over one fleet through the
 // MonitoringEngine and prints the aggregate (and optionally per-query)
-// serving report. `--mixed` varies (protocol, k, ε) across queries the way a
-// real multi-tenant deployment would; without it all queries share the
-// protocol/k/ε flags. `--window W` serves every query over per-node window
-// maxima of the last W steps (0 = the paper's instantaneous semantics);
+// serving report. The repeatable `--query KIND[:key=value,...]` flag
+// declares a heterogeneous workload — top-k positions, k-select,
+// count-distinct, threshold alerts on one fleet (kinds per `--list
+// queries`); the specs cycle up to Q. Without `--query`, all queries share
+// the protocol/k/ε flags; `--mixed` instead varies (protocol, k, ε) across
+// queries the way a real multi-tenant deployment would (incompatible with
+// --query). `--window W` serves every query over per-node window maxima of
+// the last W steps (0 = the paper's instantaneous semantics);
 // `--mixed-windows` instead cycles window lengths across queries — one
 // engine, one fleet, mixed-window serving. `--no-share` disables
 // cross-query probe batching (one probe round per query, as in
@@ -55,13 +60,13 @@ int main(int argc, char** argv) {
   std::string protocol = "combined";
   std::size_t window = kInfiniteWindow;
   bool mixed = false;
-  bool mixed_windows = false;
+  QueryListOptions qopts;
   bool strict = false;
   bool no_share = false;
   bool per_query = false;
   OutputOptions out;
 
-  Options opts("topk_engine", "Q concurrent top-k queries over one fleet");
+  Options opts("topk_engine", "Q concurrent monitoring queries over one fleet");
   add_stream_options(opts, spec);
   opts.add_uint("q", &q_count, "number of concurrent queries");
   opts.add_string("protocol", &protocol, "protocol for all queries (unless --mixed)");
@@ -73,7 +78,7 @@ int main(int argc, char** argv) {
   opts.add_size("window", &window,
                 "sliding window W in steps (0 = instantaneous)");
   opts.add_bool("mixed", &mixed, "vary (protocol, k, ε) across queries");
-  opts.add_bool("mixed-windows", &mixed_windows, "cycle window lengths across queries");
+  add_query_options(opts, qopts);
   opts.add_bool("strict", &strict, "assert ε-validity per query every step");
   opts.add_bool("no-share", &no_share, "disable cross-query probe batching");
   opts.add_bool("per-query", &per_query, "also print the per-query breakdown");
@@ -88,7 +93,13 @@ int main(int argc, char** argv) {
   finalize_stream_options(opts, spec, 4);
   cfg.share_probes = !no_share;
 
-  if (q_count == 0) {
+  const bool has_query_flags = !opts.flags().get_all("query").empty();
+  if (mixed && has_query_flags) {
+    std::cerr << "error: --mixed and --query are mutually exclusive "
+                 "(--query declares the mix itself)\n";
+    return 1;
+  }
+  if (q_count == 0 && !has_query_flags) {
     std::cerr << "error: --q must be at least 1\n";
     return 1;
   }
@@ -98,7 +109,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   const TimeStep steps = static_cast<TimeStep>(steps_flag);
-  const std::vector<std::size_t> window_cycle{kInfiniteWindow, 16, 64, 256};
 
   try {
     cfg.faults =
@@ -109,33 +119,46 @@ int main(int argc, char** argv) {
       engine.attach_telemetry(&sink);
     }
 
-    const std::vector<std::string> mixed_protocols{"combined", "topk_protocol",
-                                                   "half_error", "exact_topk",
-                                                   "kselect"};
-    for (std::size_t q = 0; q < q_count; ++q) {
-      QuerySpec qs;
-      if (mixed) {
+    if (mixed) {
+      const std::vector<std::string> mixed_protocols{"combined", "topk_protocol",
+                                                     "half_error", "exact_topk",
+                                                     "kselect"};
+      const std::vector<std::size_t> window_cycle{kInfiniteWindow, 16, 64, 256};
+      for (std::size_t q = 0; q < q_count; ++q) {
+        QuerySpec qs;
         qs.protocol = mixed_protocols[q % mixed_protocols.size()];
+        qs.kind = qs.protocol == "kselect" ? QueryKind::kKSelect : QueryKind::kTopK;
         qs.k = 2 + q % std::max<std::size_t>(
                            1, std::min<std::size_t>(spec.n - 2, 6));
         qs.epsilon = qs.protocol == "exact_topk" ? 0.0 : 0.05 + 0.05 * (q % 4);
-      } else {
-        qs.protocol = protocol;
-        qs.k = spec.k;
-        qs.epsilon = opts.flags().get_double("protocol-eps", spec.epsilon);
+        qs.window =
+            qopts.mixed_windows ? window_cycle[q % window_cycle.size()] : window;
+        qs.strict = strict;
+        engine.add_query(qs);
       }
-      qs.window = mixed_windows ? window_cycle[q % window_cycle.size()] : window;
-      qs.strict = strict;
-      engine.add_query(qs);
+    } else {
+      QuerySpec fallback;
+      fallback.protocol = protocol;
+      fallback.kind = protocol == "kselect" ? QueryKind::kKSelect : QueryKind::kTopK;
+      fallback.k = spec.k;
+      fallback.epsilon = opts.flags().get_double("protocol-eps", spec.epsilon);
+      fallback.window = window;
+      // --query specs own their kind/params; --strict promotes every query.
+      for (QuerySpec qs : build_query_list(opts.flags(), qopts, q_count, fallback)) {
+        if (strict) qs.strict = true;
+        engine.add_query(std::move(qs));
+      }
     }
+    const std::size_t queries_added = engine.query_count();
 
     const EngineStats stats = engine.run(steps);
 
     const Table summary = stats.summary_table(
-        "topk_engine — " + std::to_string(q_count) + (mixed ? " mixed" : "") +
-        " queries on " + spec.kind + " (n=" + std::to_string(spec.n) +
-        ", steps=" + std::to_string(steps) + ", threads=" +
-        std::to_string(cfg.threads) + ", seed=" + std::to_string(cfg.seed) + ")");
+        "topk_engine — " + std::to_string(queries_added) +
+        (mixed ? " mixed" : "") + " queries on " + spec.kind + " (n=" +
+        std::to_string(spec.n) + ", steps=" + std::to_string(steps) +
+        ", threads=" + std::to_string(cfg.threads) +
+        ", seed=" + std::to_string(cfg.seed) + ")");
     print_table(summary, out);
 
     if (per_query) {
@@ -143,24 +166,37 @@ int main(int argc, char** argv) {
       print_table(stats.per_query_table("per-query breakdown"), out);
     }
 
-    // Queries whose protocol also serves k-select report their final
-    // estimate (engine/engine.hpp kselect accessor; empty table elided).
-    Table ks("k-select estimates (final step, j = query k)");
-    ks.header({"query", "protocol", "k", "estimate"});
-    bool any_ks = false;
-    for (std::size_t q = 0; q < q_count; ++q) {
+    // Queries whose protocol answers beyond top-k positions report their
+    // final-step answer through QueryCapabilities (empty table elided).
+    Table ans("query answers beyond top-k (final step)");
+    ans.header({"query", "protocol", "kind", "answer"});
+    bool any_ans = false;
+    for (std::size_t q = 0; q < queries_added; ++q) {
       const QueryHandle h = static_cast<QueryHandle>(q);
-      if (const KSelectQueries* sel = engine.kselect(h)) {
+      const std::string proto(engine.query_sim(h).protocol().name());
+      if (const QueryCapabilities* sel = engine.capability(h, QueryKind::kKSelect)) {
         const SimConfig& qcfg = engine.query_sim(h).config();
-        ks.add_row({std::to_string(q),
-                    std::string(engine.query_sim(h).protocol().name()),
-                    std::to_string(qcfg.k), format_count(sel->kselect(qcfg.k))});
-        any_ks = true;
+        ans.add_row({std::to_string(q), proto, "kselect (j=k)",
+                     format_count(sel->kselect(qcfg.k))});
+        any_ans = true;
+      }
+      if (const QueryCapabilities* sel =
+              engine.capability(h, QueryKind::kCountDistinct)) {
+        ans.add_row({std::to_string(q), proto, "distinct",
+                     format_count(sel->distinct_count())});
+        any_ans = true;
+      }
+      if (const QueryCapabilities* sel =
+              engine.capability(h, QueryKind::kThreshold)) {
+        ans.add_row({std::to_string(q), proto, "threshold",
+                     std::string(sel->alert_active() ? "ALERT" : "quiet") + " (" +
+                         format_count(sel->above_count()) + " above)"});
+        any_ans = true;
       }
     }
-    if (any_ks) {
+    if (any_ans) {
       std::cout << "\n";
-      print_table(ks, out);
+      print_table(ans, out);
     }
     if (!out.telemetry_json.empty() &&
         telemetry::write_text_file(out.telemetry_json,

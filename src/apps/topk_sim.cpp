@@ -2,7 +2,8 @@
 //
 //   $ topk_sim --protocol combined --stream oscillating --n 32 --k 4
 //              --eps 0.15 --sigma 12 --steps 1000 --seed 7 [--opt exact|approx]
-//              [--window 64] [--strict] [--markdown] [--csv] [--json]
+//              [--query KIND:k=..,eps=..,bound=..] [--window 64] [--strict]
+//              [--markdown] [--csv] [--json]
 //              [--dump-trace[=out.csv]]
 //              [--telemetry[=telemetry.json]] [--telemetry-prom[=telemetry.prom]]
 //              [--faults flaky] [--churn-rate 0.02] [--straggler-frac 0.25]
@@ -60,10 +61,15 @@ int main(int argc, char** argv) {
   opts.add_string("protocol", &protocol, "monitoring protocol to run");
   opts.note("protocol-eps", "protocol's ε when it should differ from the stream's",
             "=eps");
+  opts.note("query",
+            "query spec KIND[:k=..,eps=..,window=..,bound=..,proto=..]; "
+            "overrides --protocol/--k/--window (kinds per --list queries)");
   opts.add_uint("seed", &cfg.seed, "simulation seed");
   opts.add_bool("strict", &cfg.strict, "assert ε-validity of F(t) every step");
   opts.add_size("window", &cfg.window,
                 "sliding window W in steps (0 = instantaneous)");
+  opts.add_uint("bound", &cfg.threshold,
+                "threshold bound T for threshold-alert protocols");
   opts.add_string("opt", &opt_kind, "offline baseline: exact, approx or none");
   opts.note("opt-eps", "ε' for --opt approx", "=protocol-eps");
   opts.add_uint("steps", &steps_flag, "run length in time steps");
@@ -84,6 +90,18 @@ int main(int argc, char** argv) {
   const TimeStep steps = static_cast<TimeStep>(steps_flag);
 
   try {
+    // One --query spec overrides the flat protocol/k/ε/window/bound flags —
+    // the declarative syntax shared with topk_engine/topk_coord.
+    if (const std::optional<QuerySpec> q = single_query_option(opts.flags())) {
+      protocol = q->protocol;
+      cfg.k = q->k;
+      spec.k = q->k;
+      cfg.epsilon = q->epsilon;
+      cfg.window = q->window;
+      cfg.threshold = q->threshold;
+      if (q->seed) cfg.seed = *q->seed;
+      if (q->strict) cfg.strict = true;
+    }
     cfg.faults = make_fleet_schedule(fault_config_from_flags(opts.flags(), steps),
                                      spec.n);
     Simulator sim(cfg, make_stream(spec), make_protocol(protocol));
@@ -139,13 +157,24 @@ int main(int argc, char** argv) {
     }
     t.add_row({"final output F(T)", out_str + "}"});
 
-    if (const KSelectQueries* q = as_kselect(sim.protocol())) {
+    if (const QueryCapabilities* q =
+            capability_for(sim.protocol(), QueryKind::kKSelect)) {
       t.add_row({"k-select estimate (j=k)", format_count(q->kselect(cfg.k))});
       if (cfg.record_history) {
         const KSelectOptReport kopt =
             KSelectOpt::approx(sim.history(), cfg.k, cfg.epsilon);
         t.add_row({"k-select OPT phases", format_count(kopt.phases)});
       }
+    }
+    if (const QueryCapabilities* q =
+            capability_for(sim.protocol(), QueryKind::kCountDistinct)) {
+      t.add_row({"distinct bands (final)", format_count(q->distinct_count())});
+    }
+    if (const QueryCapabilities* q =
+            capability_for(sim.protocol(), QueryKind::kThreshold)) {
+      t.add_row({"threshold alert (T=" + format_count(cfg.threshold) + ")",
+                 std::string(q->alert_active() ? "ALERT" : "quiet") + " (" +
+                     format_count(q->above_count()) + " above)"});
     }
 
     print_table(t, out);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "protocols/registry.hpp"
@@ -57,6 +58,9 @@ MonitoringEngine::~MonitoringEngine() = default;
 QueryHandle MonitoringEngine::add_query(QuerySpec spec) {
   TOPKMON_ASSERT_MSG(!started_, "add_query after the engine started");
   const auto handle = static_cast<QueryHandle>(specs_.size());
+  if (spec.protocol.empty()) {
+    spec.protocol = default_protocol_for(spec.kind);
+  }
   if (spec.label.empty()) {
     spec.label = describe(spec);
   }
@@ -65,10 +69,19 @@ QueryHandle MonitoringEngine::add_query(QuerySpec spec) {
   sim_cfg.epsilon = spec.epsilon;
   sim_cfg.seed = spec.seed ? *spec.seed : splitmix_combine(cfg_.seed, handle);
   sim_cfg.strict = spec.strict;
+  sim_cfg.threshold = spec.threshold;
   sim_cfg.record_history = false;  // history is shared, kept engine-side
   sim_cfg.window = kInfiniteWindow;  // windowing is engine-side, per distinct W
-  auto sim = std::make_unique<Simulator>(sim_cfg, gen_->n(),
-                                         make_protocol(spec.protocol));
+  auto protocol = make_protocol(spec.protocol);
+  // The protocol must actually answer the question the spec asks.
+  const bool kind_ok = spec.kind == QueryKind::kTopK
+                           ? serves_topk(*protocol)
+                           : capability_for(*protocol, spec.kind) != nullptr;
+  if (!kind_ok) {
+    throw std::runtime_error("protocol '" + spec.protocol + "' does not serve " +
+                             std::string(to_string(spec.kind)) + " queries");
+  }
+  auto sim = std::make_unique<Simulator>(sim_cfg, gen_->n(), std::move(protocol));
   step_snapshot_.add_window(spec.window, gen_->n());
   if (cfg_.share_probes) {
     sim->context().set_probe_sharer(&probe_for(spec.window));
@@ -270,6 +283,7 @@ EngineStats MonitoringEngine::stats() const {
     qs.handle = static_cast<QueryHandle>(q);
     qs.label = specs_[q].label;
     qs.protocol = specs_[q].protocol;
+    qs.kind = specs_[q].kind;
     qs.k = specs_[q].k;
     qs.epsilon = specs_[q].epsilon;
     qs.window = specs_[q].window;

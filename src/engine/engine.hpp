@@ -99,10 +99,21 @@ class MonitoringEngine {
   const Simulator& query_sim(QueryHandle h) const;
   const OutputSet& output(QueryHandle h) const;
 
-  /// The query's k-select surface (sim/protocol.hpp), or nullptr when its
+  /// The query's capability surface (sim/protocol.hpp), or nullptr when its
   /// protocol serves only top-k positions. Valid once the engine has started.
-  const KSelectQueries* kselect(QueryHandle h) const {
-    return as_kselect(query_sim(h).protocol());
+  const QueryCapabilities* capabilities(QueryHandle h) const {
+    return query_sim(h).protocol().capabilities();
+  }
+
+  /// The query's capability surface iff it serves `kind`, else nullptr.
+  const QueryCapabilities* capability(QueryHandle h, QueryKind kind) const {
+    return capability_for(query_sim(h).protocol(), kind);
+  }
+
+  /// The query's k-select surface, or nullptr when its protocol does not
+  /// serve QueryKind::kKSelect. Valid once the engine has started.
+  const QueryCapabilities* kselect(QueryHandle h) const {
+    return capability(h, QueryKind::kKSelect);
   }
 
   /// Shared snapshot history (empty unless cfg.record_history); recorded

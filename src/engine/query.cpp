@@ -1,0 +1,107 @@
+#include "engine/query.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace topkmon {
+
+std::string default_protocol_for(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kTopK:
+      return "combined";
+    case QueryKind::kKSelect:
+      return "kselect";
+    case QueryKind::kCountDistinct:
+      return "count_distinct";
+    case QueryKind::kThreshold:
+      return "threshold_alert";
+  }
+  throw std::runtime_error("unknown query kind");
+}
+
+namespace {
+
+[[noreturn]] void bad_query(const std::string& text, const std::string& why) {
+  throw std::runtime_error(
+      "bad --query '" + text + "': " + why +
+      " (expected KIND[:key=value,...] with KIND one of topk|kselect|distinct|"
+      "threshold and keys k, eps, window, bound, proto, seed, strict, label)");
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& key,
+                        const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0') {
+    bad_query(text, "key '" + key + "' needs an unsigned integer, got '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const std::string& text, const std::string& key,
+                 const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0') {
+    bad_query(text, "key '" + key + "' needs a number, got '" + value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+QuerySpec parse_query_spec(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  const std::string kind_text = text.substr(0, colon);
+  const std::optional<QueryKind> kind = parse_query_kind(kind_text);
+  if (!kind) {
+    bad_query(text, "unknown query kind '" + kind_text + "'");
+  }
+
+  QuerySpec spec;
+  spec.kind = *kind;
+  spec.protocol = default_protocol_for(*kind);
+
+  std::string params = colon == std::string::npos ? "" : text.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos < params.size()) {
+    std::size_t comma = params.find(',', pos);
+    if (comma == std::string::npos) comma = params.size();
+    const std::string item = params.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      bad_query(text, "expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "k") {
+      spec.k = static_cast<std::size_t>(parse_u64(text, key, value));
+    } else if (key == "eps") {
+      spec.epsilon = parse_f64(text, key, value);
+    } else if (key == "window") {
+      spec.window = static_cast<std::size_t>(parse_u64(text, key, value));
+    } else if (key == "bound") {
+      spec.threshold = parse_u64(text, key, value);
+    } else if (key == "proto") {
+      if (value.empty()) bad_query(text, "key 'proto' needs a protocol name");
+      spec.protocol = value;
+    } else if (key == "seed") {
+      spec.seed = parse_u64(text, key, value);
+    } else if (key == "strict") {
+      spec.strict = parse_u64(text, key, value) != 0;
+    } else if (key == "label") {
+      spec.label = value;
+    } else {
+      bad_query(text, "unknown key '" + key + "'");
+    }
+  }
+  if (spec.kind == QueryKind::kThreshold && spec.threshold > kMaxObservableValue) {
+    bad_query(text, "bound exceeds the observable domain");
+  }
+  return spec;
+}
+
+}  // namespace topkmon

@@ -1,7 +1,8 @@
 // Query descriptors for the multi-query MonitoringEngine.
 //
-// A QuerySpec is everything one top-k-position monitoring query needs beyond
-// the shared fleet: which protocol to run, its (k, ε), whether to validate
+// A QuerySpec is everything one monitoring query needs beyond the shared
+// fleet: which kind of question it asks (QueryKind), which protocol serves
+// it, its parameters (k, ε, window, threshold), whether to validate
 // strictly, and (optionally) an explicit seed. The engine returns a
 // QueryHandle — a dense index usable to look up per-query results.
 #pragma once
@@ -10,7 +11,9 @@
 #include <optional>
 #include <string>
 
+#include "model/types.hpp"
 #include "model/window.hpp"
+#include "sim/query_kind.hpp"
 
 namespace topkmon {
 
@@ -18,10 +21,20 @@ namespace topkmon {
 using QueryHandle = std::uint32_t;
 
 struct QuerySpec {
-  std::string protocol = "combined";  ///< name from protocols/registry
+  /// What question this query asks; the chosen protocol must advertise the
+  /// kind via QueryCapabilities (add_query rejects mismatches).
+  QueryKind kind = QueryKind::kTopK;
+
+  /// Name from protocols/registry; empty (the default) = the kind's default
+  /// protocol, resolved by add_query/parse_query_spec (default_protocol_for;
+  /// kTopK resolves to "combined", preserving the historical default).
+  std::string protocol;
   std::size_t k = 3;
   double epsilon = 0.1;
   bool strict = false;  ///< oracle-validate output/filters after every step
+
+  /// Threshold bound T (kThreshold queries only; ignored otherwise).
+  Value threshold = 0;
 
   /// Sliding-window length W (src/model/window.hpp): the query monitors
   /// top-k over per-node window maxima of the last W steps. kInfiniteWindow
@@ -42,5 +55,20 @@ struct QuerySpec {
 
 /// "protocol k=.. eps=.." — default label used when spec.label is empty.
 std::string describe(const QuerySpec& spec);
+
+/// The registry protocol serving `kind` when QuerySpec::protocol is empty:
+/// kTopK → "combined", kKSelect → "kselect", kCountDistinct →
+/// "count_distinct", kThreshold → "threshold_alert".
+std::string default_protocol_for(QueryKind kind);
+
+/// Parses the CLI query syntax shared by every binary:
+///
+///   KIND[:key=value[,key=value...]]
+///
+/// KIND is any spelling parse_query_kind accepts; keys are k, eps, window,
+/// bound (threshold T), proto, seed, strict (0/1), label. Unset keys keep
+/// QuerySpec defaults; protocol defaults to the kind's default. Throws
+/// std::runtime_error with a usable message on malformed input.
+QuerySpec parse_query_spec(const std::string& text);
 
 }  // namespace topkmon

@@ -7,9 +7,15 @@ namespace topkmon {
 std::string describe(const QuerySpec& spec) {
   if (!spec.label.empty()) return spec.label;
   std::ostringstream oss;
+  // The protocol name already names the query kind (the registry maps one to
+  // one for the defaults), so the historical "protocol k=.. eps=.." shape
+  // stays stable; only threshold queries append their bound.
   oss << spec.protocol << " k=" << spec.k << " eps=" << format_double(spec.epsilon, 3);
   if (spec.window != kInfiniteWindow) {
     oss << " W=" << spec.window;
+  }
+  if (spec.kind == QueryKind::kThreshold) {
+    oss << " T=" << spec.threshold;
   }
   return oss.str();
 }

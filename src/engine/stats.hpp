@@ -18,6 +18,7 @@ struct QueryStats {
   QueryHandle handle = 0;
   std::string label;
   std::string protocol;
+  QueryKind kind = QueryKind::kTopK;
   std::size_t k = 0;
   double epsilon = 0.0;
   std::size_t window = 0;  ///< sliding-window length W; 0 = unwindowed

@@ -1,0 +1,53 @@
+#include "model/band_ladder.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+void BandLadder::reset(double epsilon) {
+  boundaries_.clear();
+  if (epsilon <= 0.0) {
+    return;  // unit bands
+  }
+  // b_0 = 0, b_1 = 1, b_{i+1} = ⌊b_i/(1−ε)⌋ + 1. The +1 guarantees strict
+  // growth (non-empty bands); the floor keeps boundaries on the integer
+  // grid, and width condition (W) holds because hi − 1 = ⌊lo/(1−ε)⌋ ≤
+  // lo/(1−ε). 2^48 < 2^53, so the double division is exact enough to stay
+  // monotone.
+  std::vector<Value> b;
+  b.push_back(0);
+  Value cur = 1;
+  while (cur <= kMaxObservableValue) {
+    b.push_back(cur);
+    if (b.size() > kMaxLadderSize) {
+      return;  // ε too small for a bounded ladder; stay in unit-band mode
+    }
+    const Value next =
+        static_cast<Value>(static_cast<double>(cur) / (1.0 - epsilon)) + 1;
+    TOPKMON_ASSERT(next > cur);
+    cur = next;
+  }
+  boundaries_ = std::move(b);
+}
+
+Value BandLadder::band_lo(Value v) const {
+  TOPKMON_ASSERT(v <= kMaxObservableValue);
+  if (unit_bands()) {
+    return v;
+  }
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  return *(it - 1);
+}
+
+Value BandLadder::band_hi(Value v) const {
+  TOPKMON_ASSERT(v <= kMaxObservableValue);
+  if (unit_bands()) {
+    return v + 1;
+  }
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  return it == boundaries_.end() ? kMaxObservableValue + 1 : *it;
+}
+
+}  // namespace topkmon

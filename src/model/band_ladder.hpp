@@ -1,0 +1,48 @@
+// BandLadder — the geometric value grid shared (conceptually) by server and
+// nodes: a pure function of ε, never communicated.
+//
+// Half-open bands [b_i, b_{i+1}) with b_0 = 0, b_1 = 1 and
+// b_{i+1} = ⌊b_i/(1−ε)⌋ + 1 cover [0, kMaxObservableValue], so every band
+// satisfies the width condition
+//   lo ≥ (1−ε)·(hi − 1).                                   (W)
+// Because the ladder is derivable from ε alone, a node can compute its own
+// band locally (the DENSEPROTOCOL idiom) — re-banding costs zero server
+// messages beyond the accounted violation report that carried the value.
+//
+// Consumers: the k-select structure (protocols/kselect_structure.hpp) builds
+// its activation floor on the bands; the count-distinct protocol
+// (protocols/count_distinct.hpp) counts occupied bands; the Oracle's exact
+// count-distinct baseline (model/oracle.hpp) uses the same ladder so both
+// sides agree bit-for-bit on borderline values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace topkmon {
+
+class BandLadder {
+ public:
+  /// Ladders needing more boundaries than this fall back to unit bands
+  /// ([v, v+1), always correct). Deterministic in ε alone.
+  static constexpr std::size_t kMaxLadderSize = std::size_t{1} << 20;
+
+  /// (Re)builds the ladder for ε ∈ [0, 1). ε = 0 always means unit bands.
+  void reset(double epsilon);
+
+  /// Lower boundary of the band containing v (v ≤ kMaxObservableValue).
+  Value band_lo(Value v) const;
+
+  /// Exclusive upper boundary of the band containing v.
+  Value band_hi(Value v) const;
+
+  bool unit_bands() const { return boundaries_.empty(); }
+  std::size_t size() const { return boundaries_.size(); }
+
+ private:
+  std::vector<Value> boundaries_;  ///< sorted band lower bounds; empty = unit
+};
+
+}  // namespace topkmon

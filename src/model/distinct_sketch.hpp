@@ -1,0 +1,65 @@
+// DistinctSketch — a mergeable multiset of occupied value bands.
+//
+// The count-distinct protocol (protocols/count_distinct.hpp) tracks how many
+// distinct ε-bands (model/band_ladder.hpp) the fleet occupies. The server's
+// view decomposes naturally by shard: each shard contributes the multiset of
+// bands its nodes occupy, and the fleet answer is the distinct-band count of
+// the merged multiset. This sketch is that multiset — add/remove maintain
+// per-band multiplicities, merge() is the shard-combining operator
+// (commutative and associative, so any merge tree yields the same answer),
+// and distinct() is O(1).
+//
+// Steady-state discipline: a quiescent step touches the sketch not at all,
+// and a re-band does one erase + one insert. Only inserts of never-seen
+// bands can allocate, so a warmed-up sketch keeps the engine's
+// zero-steady-state-allocation guarantee (tests/test_hotpath_alloc.cpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "model/types.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+class DistinctSketch {
+ public:
+  /// One value now occupies `band` (a band lower boundary).
+  void add(Value band) { ++counts_[band]; }
+
+  /// One value left `band`; the band must be occupied.
+  void remove(Value band) {
+    const auto it = counts_.find(band);
+    TOPKMON_ASSERT_MSG(it != counts_.end(), "removing from an empty band");
+    if (--it->second == 0) {
+      counts_.erase(it);
+    }
+  }
+
+  /// Folds another shard's occupancy into this one.
+  void merge(const DistinctSketch& other) {
+    for (const auto& [band, count] : other.counts_) {
+      counts_[band] += count;
+    }
+  }
+
+  /// The number of distinct occupied bands.
+  std::uint64_t distinct() const { return counts_.size(); }
+
+  /// Total values tracked (Σ multiplicities); for invariant checks.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [band, count] : counts_) {
+      sum += count;
+    }
+    return sum;
+  }
+
+  void clear() { counts_.clear(); }
+
+ private:
+  std::unordered_map<Value, std::uint32_t> counts_;
+};
+
+}  // namespace topkmon

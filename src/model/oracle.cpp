@@ -169,4 +169,30 @@ std::string Oracle::explain_kselect_invalid(std::span<const Value> values,
   return oss.str();
 }
 
+std::uint64_t Oracle::distinct_count(std::span<const Value> values,
+                                     const BandLadder& ladder) {
+  std::vector<Value> bands;
+  bands.reserve(values.size());
+  for (const Value v : values) {
+    bands.push_back(ladder.band_lo(v));
+  }
+  std::sort(bands.begin(), bands.end());
+  return static_cast<std::uint64_t>(
+      std::unique(bands.begin(), bands.end()) - bands.begin());
+}
+
+std::uint64_t Oracle::distinct_count(std::span<const Value> values, double epsilon) {
+  BandLadder ladder;
+  ladder.reset(epsilon);
+  return distinct_count(values, ladder);
+}
+
+std::uint64_t Oracle::count_above(std::span<const Value> values, Value threshold) {
+  std::uint64_t count = 0;
+  for (const Value v : values) {
+    count += v > threshold ? 1 : 0;
+  }
+  return count;
+}
+
 }  // namespace topkmon

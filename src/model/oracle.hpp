@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "model/band_ladder.hpp"
 #include "model/types.hpp"
 
 namespace topkmon {
@@ -105,6 +107,20 @@ class Oracle {
   static std::string explain_kselect_invalid(std::span<const Value> values,
                                              std::size_t k, double epsilon,
                                              Value answer);
+
+  /// Exact count-distinct baseline (QueryKind::kCountDistinct): the number
+  /// of distinct ladder bands occupied by `values`. With unit bands (ε = 0)
+  /// this is the exact number of distinct values. O(n log n).
+  static std::uint64_t distinct_count(std::span<const Value> values,
+                                      const BandLadder& ladder);
+
+  /// Convenience overload building the ε-ladder internally (tests/fuzz; the
+  /// strict validator caches a ladder instead, ε is fixed per run).
+  static std::uint64_t distinct_count(std::span<const Value> values, double epsilon);
+
+  /// Exact threshold baseline (QueryKind::kThreshold): how many nodes hold a
+  /// value strictly above `threshold`; the alert predicate is `> 0`. O(n).
+  static std::uint64_t count_above(std::span<const Value> values, Value threshold);
 };
 
 }  // namespace topkmon

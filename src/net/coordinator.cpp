@@ -30,6 +30,7 @@ NetCoordinator::NetCoordinator(RunSpec spec, std::vector<std::unique_ptr<Link>> 
   cfg.epsilon = spec_.protocol_epsilon;
   cfg.seed = spec_.seed;
   cfg.window = spec_.window;
+  cfg.threshold = spec_.threshold;
   sim_ = std::make_unique<Simulator>(cfg, spec_.stream.n,
                                      make_protocol(spec_.protocol));
   // Fault *channel*, not injector: loss accounting + scripted membership
@@ -263,12 +264,20 @@ InprocNetReport run_networked_inproc(const RunSpec& spec,
   report.output = coordinator.output();
   report.quiescence_errors = coordinator.quiescence_errors();
   report.host_exit = std::move(exits);
-  if (const KSelectQueries* q = as_kselect(coordinator.sim().protocol())) {
+  const MonitoringProtocol& protocol = coordinator.sim().protocol();
+  if (const QueryCapabilities* q = capability_for(protocol, QueryKind::kKSelect)) {
     const std::size_t jmax = std::min<std::size_t>(q->kselect_max_rank(),
                                                    coordinator.sim().config().k);
     for (std::size_t j = 1; j <= jmax; ++j) {
       report.kselect_estimates.push_back(q->kselect(j));
     }
+  }
+  if (const QueryCapabilities* q =
+          capability_for(protocol, QueryKind::kCountDistinct)) {
+    report.distinct_count = q->distinct_count();
+  }
+  if (const QueryCapabilities* q = capability_for(protocol, QueryKind::kThreshold)) {
+    report.threshold_above = q->above_count();
   }
   return report;
 }

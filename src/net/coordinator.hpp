@@ -28,6 +28,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,10 +98,19 @@ struct InprocNetReport {
   OutputSet output;       ///< final F(T)
   std::uint64_t quiescence_errors = 0;
   std::vector<int> host_exit;  ///< per-host run() status (all 0 on success)
-  /// Final k-select estimates, kselect(1..k), when the protocol serves them
-  /// (sim/protocol.hpp KSelectQueries); empty otherwise. Bit-identical to a
-  /// standalone Simulator's on a loss-free schedule, like the rest of `run`.
+  /// Final k-select estimates, kselect(1..k), when the protocol serves
+  /// QueryKind::kKSelect (sim/protocol.hpp QueryCapabilities); empty
+  /// otherwise. Bit-identical to a standalone Simulator's on a loss-free
+  /// schedule, like the rest of `run`.
   std::vector<Value> kselect_estimates;
+
+  /// Final count-distinct answer when the protocol serves
+  /// QueryKind::kCountDistinct; nullopt otherwise.
+  std::optional<std::uint64_t> distinct_count;
+
+  /// Final nodes-above-T count when the protocol serves
+  /// QueryKind::kThreshold; nullopt otherwise (alert ⇔ *threshold_above > 0).
+  std::optional<std::uint64_t> threshold_above;
 };
 
 struct InprocNetOptions {

@@ -249,6 +249,7 @@ void write_run_spec(WireWriter& w, const RunSpec& spec) {
   w.u64(spec.seed);
   w.u64(spec.window);
   w.i64(spec.steps);
+  w.u64(spec.threshold);
   write_fault_config(w, spec.faults);
 }
 
@@ -260,6 +261,7 @@ RunSpec read_run_spec(WireReader& r) {
   spec.seed = r.u64();
   spec.window = r.u64();
   spec.steps = r.i64();
+  spec.threshold = r.u64();
   spec.faults = read_fault_config(r);
   return spec;
 }

@@ -35,7 +35,7 @@
 
 namespace topkmon::net {
 
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;  ///< v2: RunSpec.threshold
 
 /// Malformed frame: wrong version, unknown type, truncation, trailing bytes.
 struct WireError : std::runtime_error {
@@ -132,6 +132,7 @@ struct RunSpec {
   std::uint64_t seed = 42;            ///< master seed (generator/protocol/loss)
   std::size_t window = kInfiniteWindow;  ///< sliding-window length W (0 = off)
   TimeStep steps = 1000;              ///< run length
+  Value threshold = 0;  ///< bound T for threshold-alert protocols (else unused)
   FaultConfig faults;                 ///< fleet degradation script knobs
 
   friend bool operator==(const RunSpec&, const RunSpec&) = default;

@@ -1,0 +1,68 @@
+// COUNTDISTINCT — continuous count-distinct over the value domain
+// (QueryKind::kCountDistinct), in the domain-monitoring spirit of Bemmann et
+// al. (arXiv:1706.03568): the same filter/violation machinery the paper
+// builds for top-k positions, pointed at a different domain function.
+//
+// Contract: after every hook, distinct_count() is the EXACT number of
+// distinct ε-bands (model/band_ladder.hpp) occupied by the fleet's current
+// values. With ε = 0 the ladder degenerates to unit bands and the answer is
+// the exact number of distinct values; ε > 0 coarsens the domain so that
+// values within a (1−ε) factor of each other count once — the approximation
+// lives in the domain grid, the count itself is always exact and
+// deterministic (strict mode checks it against Oracle::distinct_count).
+//
+// Mechanics: every node holds the filter of its own band, so a value moving
+// within its band is free, and any band change surfaces as a filter
+// violation. The server keeps a mergeable per-shard DistinctSketch
+// (model/distinct_sketch.hpp): start() builds one sketch per fleet stripe
+// from a deterministic collect and merges them (the shard-combining operator
+// the networked runtime's data plane would use), then maintains the merged
+// sketch incrementally — one remove + add per re-band. Filters are always
+// derivable node-side from the node's own value plus the ladder (a pure
+// function of ε), so re-banding costs zero server messages beyond the
+// accounted violation report, and (re)installation is one broadcast.
+//
+// This protocol serves no top-k output (output() stays empty) — it
+// advertises exactly kCountDistinct through QueryCapabilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/band_ladder.hpp"
+#include "model/distinct_sketch.hpp"
+#include "sim/protocol.hpp"
+
+namespace topkmon {
+
+class CountDistinctMonitor : public MonitoringProtocol, public QueryCapabilities {
+ public:
+  void start(SimContext& ctx) override;
+  void on_step(SimContext& ctx) override;
+  const OutputSet& output() const override { return output_; }
+  const QueryCapabilities* capabilities() const override { return this; }
+  std::string_view name() const override { return "count_distinct"; }
+
+  bool supports(QueryKind kind) const override {
+    return kind == QueryKind::kCountDistinct;
+  }
+  std::uint64_t distinct_count() const override { return sketch_.distinct(); }
+
+  // Introspection for tests/benches.
+  const BandLadder& ladder() const { return ladder_; }
+  const DistinctSketch& sketch() const { return sketch_; }
+  Value node_band_lo(NodeId i) const { return band_lo_[i]; }
+
+  /// Stripe width of the per-shard sketches start() merges.
+  static constexpr std::size_t kSketchStripe = 16;
+
+ private:
+  Filter band_filter(Value v) const;
+
+  BandLadder ladder_;
+  DistinctSketch sketch_;       ///< merged fleet occupancy
+  std::vector<Value> band_lo_;  ///< per-node current band (server view)
+  OutputSet output_;            ///< always empty: no top-k surface
+};
+
+}  // namespace topkmon

@@ -6,8 +6,8 @@
 // k, this structure maintains enough sketch to answer, at every step and
 // without further communication,
 //   * the top-k-position query (MonitoringProtocol::output), and
-//   * ε-approximate j-select queries for every 1 ≤ j ≤ k
-//     (KSelectQueries::kselect): a value v̂ with (1−ε)·v_j ≤ v̂ ≤ v_j,
+//   * ε-approximate j-select queries for every 1 ≤ j ≤ k (the kKSelect
+//     surface of QueryCapabilities): a value v̂ with (1−ε)·v_j ≤ v̂ ≤ v_j,
 //     which in particular lies in the ε-neighborhood A_j(t).
 //
 // The maintenance core is a geometric BAND LADDER over the integer value
@@ -55,43 +55,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "model/band_ladder.hpp"
 #include "protocols/generic_framework.hpp"
 #include "sim/protocol.hpp"
 
 namespace topkmon {
 
-/// The geometric value grid shared (conceptually) by server and nodes: a
-/// pure function of ε, never communicated. Bands are half-open integer
-/// intervals [band_lo(v), band_hi(v)) covering [0, kMaxObservableValue].
-class BandLadder {
- public:
-  /// Ladders needing more boundaries than this fall back to unit bands
-  /// ([v, v+1), always correct). Deterministic in ε alone.
-  static constexpr std::size_t kMaxLadderSize = std::size_t{1} << 20;
-
-  /// (Re)builds the ladder for ε ∈ [0, 1). ε = 0 always means unit bands.
-  void reset(double epsilon);
-
-  /// Lower boundary of the band containing v (v ≤ kMaxObservableValue).
-  Value band_lo(Value v) const;
-
-  /// Exclusive upper boundary of the band containing v.
-  Value band_hi(Value v) const;
-
-  bool unit_bands() const { return boundaries_.empty(); }
-  std::size_t size() const { return boundaries_.size(); }
-
- private:
-  std::vector<Value> boundaries_;  ///< sorted band lower bounds; empty = unit
-};
-
-class KSelectStructure : public MonitoringProtocol, public KSelectQueries {
+class KSelectStructure : public MonitoringProtocol, public QueryCapabilities {
  public:
   void start(SimContext& ctx) override;
   void on_step(SimContext& ctx) override;
   const OutputSet& output() const override { return output_; }
+  const QueryCapabilities* capabilities() const override { return this; }
   std::string_view name() const override { return "kselect"; }
 
+  bool supports(QueryKind kind) const override {
+    return kind == QueryKind::kTopK || kind == QueryKind::kKSelect;
+  }
   std::size_t kselect_max_rank() const override { return k_; }
   Value kselect(std::size_t j) const override;
 

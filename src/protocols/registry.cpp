@@ -5,10 +5,12 @@
 #include <stdexcept>
 
 #include "protocols/combined.hpp"
+#include "protocols/count_distinct.hpp"
 #include "protocols/exact_topk.hpp"
 #include "protocols/half_error.hpp"
 #include "protocols/kselect_structure.hpp"
 #include "protocols/naive.hpp"
+#include "protocols/threshold_alert.hpp"
 #include "protocols/topk_protocol.hpp"
 
 namespace topkmon {
@@ -33,11 +35,13 @@ Registry& registry_locked() {
   static Registry reg = [] {
     Registry r;
     add_builtin<CombinedMonitor>(r);
+    add_builtin<CountDistinctMonitor>(r);
     add_builtin<ExactTopKMonitor>(r);
     add_builtin<HalfErrorMonitor>(r);
     add_builtin<KSelectStructure>(r);
     add_builtin<NaiveCentralMonitor>(r);
     add_builtin<NaiveChangeMonitor>(r);
+    add_builtin<ThresholdAlertMonitor>(r);
     add_builtin<TopKProtocol>(r);
     return r;
   }();

@@ -1,0 +1,63 @@
+#include "protocols/threshold_alert.hpp"
+
+#include "protocols/generic_framework.hpp"
+#include "util/assert.hpp"
+
+namespace topkmon {
+
+Filter ThresholdAlertMonitor::above_filter() const {
+  // Values are integers, so "strictly above T" is the closed interval
+  // [T + 1, Δ]. T < 2^48 < 2^53 keeps the double arithmetic exact.
+  return Filter{static_cast<double>(bound_) + 1.0,
+                static_cast<double>(kMaxObservableValue)};
+}
+
+Filter ThresholdAlertMonitor::below_filter() const {
+  return Filter{0.0, static_cast<double>(bound_)};
+}
+
+void ThresholdAlertMonitor::start(SimContext& ctx) {
+  bound_ = ctx.threshold();
+  above_.assign(ctx.n(), 0);
+  above_count_ = 0;
+  output_.clear();
+
+  // EXISTENCE-enumeration of the initial above-set: O(|above| + 1) expected
+  // messages, independent of n (Lemma 3.1) — the alert usually watches a
+  // bound few nodes exceed.
+  const Value bound = bound_;
+  const auto found = enumerate_nodes(ctx, [bound](const Node& node) {
+    return node.value() > bound;
+  });
+  for (const auto& [id, value] : found) {
+    (void)value;
+    above_[id] = 1;
+    ++above_count_;
+  }
+  // One broadcast: each node derives its side's filter from the public
+  // bound and its own value.
+  ctx.broadcast_filters([this](const Node& node) {
+    return node.value() > bound_ ? above_filter() : below_filter();
+  });
+}
+
+void ThresholdAlertMonitor::on_step(SimContext& ctx) {
+  drain_violations(ctx, [&](NodeId id, Value value, Violation side) {
+    (void)side;
+    // A violation is exactly a side flip: the report is accounted, the new
+    // filter is node-side derivable from the public bound.
+    if (above_[id]) {
+      TOPKMON_ASSERT(value <= bound_);
+      above_[id] = 0;
+      --above_count_;
+      ctx.set_filter_free(id, below_filter());
+    } else {
+      TOPKMON_ASSERT(value > bound_);
+      above_[id] = 1;
+      ++above_count_;
+      ctx.set_filter_free(id, above_filter());
+    }
+  });
+}
+
+}  // namespace topkmon

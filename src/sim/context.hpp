@@ -38,6 +38,10 @@ struct SimParams {
   std::size_t n = 10;
   std::size_t k = 3;
   double epsilon = 0.1;
+
+  /// Threshold bound T for QueryKind::kThreshold protocols (value is public
+  /// configuration, like k and ε); ignored by every other protocol.
+  Value threshold = 0;
 };
 
 /// One node's answer to a probe: its id and the value it reported.
@@ -69,6 +73,7 @@ class SimContext {
   std::size_t n() const { return nodes_.size(); }
   std::size_t k() const { return params_.k; }
   double epsilon() const { return params_.epsilon; }
+  Value threshold() const { return params_.threshold; }
   TimeStep time() const { return time_; }
 
   /// Read-only node array (values + filters). For generators, validators and

@@ -12,8 +12,74 @@
 
 #include "model/types.hpp"
 #include "sim/context.hpp"
+#include "sim/query_kind.hpp"
+#include "util/assert.hpp"
 
 namespace topkmon {
+
+/// The query surface a protocol advertises beyond the MonitoringProtocol
+/// basics: which QueryKinds it answers, and the per-kind accessors. The
+/// engine, the strict-mode validator, the networked runtime and the CLIs all
+/// dispatch on this one interface — there is no per-kind discovery seam.
+///
+/// Contracts (checked by the Oracle in strict mode and the fuzz harness),
+/// holding after every simulator hook returns:
+///   kTopK           output() is a correct F(t) (Sect. 2). Protocols without
+///                   capabilities() implicitly serve exactly this kind.
+///   kKSelect        kselect(j) lies in the ε-neighborhood A_j(t) of the true
+///                   j-th largest value for every 1 ≤ j ≤ kselect_max_rank()
+///                   (arXiv:1709.07259).
+///   kCountDistinct  distinct_count() is the exact number of distinct
+///                   ε-bands (model/band_ladder.hpp) occupied by the fleet.
+///   kThreshold      alert_active() == ∃i: v_i(t) > T and above_count() is
+///                   the exact count of such nodes, T = SimContext::threshold.
+///
+/// Per-kind accessors may only be called when supports(kind) is true; the
+/// defaults assert so a mis-dispatched caller fails loudly in tests.
+class QueryCapabilities {
+ public:
+  virtual ~QueryCapabilities() = default;
+
+  /// Which query kinds this protocol answers.
+  virtual bool supports(QueryKind kind) const = 0;
+
+  // ---- kKSelect -----------------------------------------------------------
+
+  /// Largest supported rank j (the structure's k unless documented wider).
+  virtual std::size_t kselect_max_rank() const {
+    TOPKMON_ASSERT_MSG(false, "protocol does not serve k-select");
+    return 0;
+  }
+
+  /// The ε-approximate j-th largest value, 1-based, j ≤ kselect_max_rank().
+  virtual Value kselect(std::size_t j) const {
+    (void)j;
+    TOPKMON_ASSERT_MSG(false, "protocol does not serve k-select");
+    return 0;
+  }
+
+  // ---- kCountDistinct -----------------------------------------------------
+
+  /// The number of distinct ε-bands occupied by the fleet's current values.
+  virtual std::uint64_t distinct_count() const {
+    TOPKMON_ASSERT_MSG(false, "protocol does not serve count-distinct");
+    return 0;
+  }
+
+  // ---- kThreshold ---------------------------------------------------------
+
+  /// True iff some node's value is strictly above the threshold bound.
+  virtual bool alert_active() const {
+    TOPKMON_ASSERT_MSG(false, "protocol does not serve threshold alerts");
+    return false;
+  }
+
+  /// The exact number of nodes strictly above the threshold bound.
+  virtual std::uint64_t above_count() const {
+    TOPKMON_ASSERT_MSG(false, "protocol does not serve threshold alerts");
+    return 0;
+  }
+};
 
 class MonitoringProtocol {
  public:
@@ -43,36 +109,33 @@ class MonitoringProtocol {
   /// membership change in the same step takes precedence.
   virtual void on_window_expiry(SimContext& ctx) { on_step(ctx); }
 
-  /// The server's current output F(t); size k.
+  /// The server's current output F(t); size k for top-k-serving protocols,
+  /// empty for protocols that do not serve QueryKind::kTopK.
   virtual const OutputSet& output() const = 0;
+
+  /// The protocol's advertised query surface, or nullptr when it serves
+  /// exactly top-k positions (the paper's protocols). Non-owning; valid as
+  /// long as the protocol lives. Protocols answering anything beyond (or
+  /// instead of) top-k override this to return their QueryCapabilities.
+  virtual const QueryCapabilities* capabilities() const { return nullptr; }
 
   virtual std::string_view name() const = 0;
 };
 
-/// Optional query surface for protocols that also answer approximate
-/// k-select (k-th value) queries, in the sense of Biermeier et al.
-/// (arXiv:1709.07259): after every simulator hook, kselect(j) must return a
-/// value inside the ε-neighborhood A_j(t) = [(1−ε)·v_j, v_j/(1−ε)] of the
-/// true j-th largest value, for every 1 ≤ j ≤ kselect_max_rank(). The
-/// strict-mode validator and the differential fuzz harness check exactly
-/// this via Oracle::kselect_valid. Protocols opt in by inheriting from both
-/// MonitoringProtocol and KSelectQueries; callers discover the surface with
-/// as_kselect() below.
-class KSelectQueries {
- public:
-  virtual ~KSelectQueries() = default;
+/// The protocol's surface for `kind`, or nullptr when it does not serve it.
+/// The replacement for the old as_kselect() dynamic discovery: callers name
+/// the kind they dispatch on instead of downcasting to a per-kind interface.
+inline const QueryCapabilities* capability_for(const MonitoringProtocol& p,
+                                               QueryKind kind) {
+  const QueryCapabilities* caps = p.capabilities();
+  return caps != nullptr && caps->supports(kind) ? caps : nullptr;
+}
 
-  /// Largest supported rank j (the structure's k unless documented wider).
-  virtual std::size_t kselect_max_rank() const = 0;
-
-  /// The ε-approximate j-th largest value, 1-based, j ≤ kselect_max_rank().
-  virtual Value kselect(std::size_t j) const = 0;
-};
-
-/// The protocol's k-select surface, or nullptr when it only serves top-k
-/// positions. Non-owning; valid as long as the protocol lives.
-inline const KSelectQueries* as_kselect(const MonitoringProtocol& p) {
-  return dynamic_cast<const KSelectQueries*>(&p);
+/// True iff the protocol maintains a top-k-position output — every protocol
+/// without explicit capabilities, plus any advertising QueryKind::kTopK.
+inline bool serves_topk(const MonitoringProtocol& p) {
+  const QueryCapabilities* caps = p.capabilities();
+  return caps == nullptr || caps->supports(QueryKind::kTopK);
 }
 
 }  // namespace topkmon

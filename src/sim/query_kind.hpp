@@ -1,0 +1,67 @@
+// QueryKind — the typed query vocabulary of the monitoring service.
+//
+// The paper's object of study is the top-k-position query, but the same
+// filter/violation machinery serves a family of continuous queries over the
+// same fleet (Bemmann et al., arXiv:1706.03568). Each kind names one
+// correctness contract, checked by the Oracle in strict mode and the fuzz
+// harness:
+//
+//   kTopK      F(t) per Sect. 2: every clearly-larger node included, the
+//              rest inside the ε-neighborhood of the k-th value.
+//   kKSelect   ε-approximate j-th largest value for every j ≤ k
+//              (arXiv:1709.07259): (1−ε)·v_j ≤ v̂_j and (1−ε)·v̂_j ≤ v_j.
+//   kCountDistinct  exact count of distinct ε-bands (model/band_ladder.hpp)
+//              occupied by the fleet's current values; ε = 0 degenerates to
+//              the exact number of distinct values.
+//   kThreshold exact alert predicate ∃i: v_i(t) > T plus the exact count of
+//              nodes above the bound T.
+//
+// Protocols advertise which kinds they answer through QueryCapabilities
+// (sim/protocol.hpp); QuerySpec (engine/query.hpp) and the CLI `--query`
+// flag select kinds by the names below.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace topkmon {
+
+enum class QueryKind : std::uint8_t {
+  kTopK = 0,
+  kKSelect,
+  kCountDistinct,
+  kThreshold,
+};
+
+inline constexpr std::size_t kNumQueryKinds = 4;
+
+constexpr std::string_view to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kTopK: return "topk";
+    case QueryKind::kKSelect: return "kselect";
+    case QueryKind::kCountDistinct: return "distinct";
+    case QueryKind::kThreshold: return "threshold";
+  }
+  return "?";
+}
+
+/// The registered kind names, in enum order (the `--list queries` listing).
+constexpr std::array<std::string_view, kNumQueryKinds> query_kind_names() {
+  return {to_string(QueryKind::kTopK), to_string(QueryKind::kKSelect),
+          to_string(QueryKind::kCountDistinct), to_string(QueryKind::kThreshold)};
+}
+
+/// Parses a kind name; accepts the canonical names above plus the protocol
+/// spellings ("count_distinct", "threshold_alert"). nullopt on no match.
+inline std::optional<QueryKind> parse_query_kind(std::string_view name) {
+  if (name == "topk" || name == "top_k") return QueryKind::kTopK;
+  if (name == "kselect" || name == "k_select") return QueryKind::kKSelect;
+  if (name == "distinct" || name == "count_distinct") return QueryKind::kCountDistinct;
+  if (name == "threshold" || name == "threshold_alert") return QueryKind::kThreshold;
+  return std::nullopt;
+}
+
+}  // namespace topkmon

@@ -14,7 +14,8 @@ Simulator::Simulator(SimConfig cfg, std::unique_ptr<StreamGenerator> gen,
     : cfg_(cfg),
       gen_(std::move(gen)),
       protocol_(std::move(protocol)),
-      ctx_(SimParams{gen_ ? gen_->n() : 0, cfg.k, cfg.epsilon}, cfg.seed),
+      ctx_(SimParams{gen_ ? gen_->n() : 0, cfg.k, cfg.epsilon, cfg.threshold},
+           cfg.seed),
       gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)),
       fleet_(gen_ ? gen_->n() : 1, cfg.window) {
   TOPKMON_ASSERT(gen_ != nullptr);
@@ -31,7 +32,7 @@ Simulator::Simulator(SimConfig cfg, std::size_t n,
     : cfg_(cfg),
       gen_(nullptr),
       protocol_(std::move(protocol)),
-      ctx_(SimParams{n, cfg.k, cfg.epsilon}, cfg.seed),
+      ctx_(SimParams{n, cfg.k, cfg.epsilon, cfg.threshold}, cfg.seed),
       gen_rng_(Rng::derive(cfg.seed, /*stream_id=*/0x5EED)),
       fleet_(n, cfg.window) {
   TOPKMON_ASSERT(protocol_ != nullptr);
@@ -204,11 +205,18 @@ void Simulator::publish_telemetry(std::size_t sigma) {
 }
 
 void Simulator::validate_strict(const ValueVector& values) {
-  const auto& out = protocol_->output();
-  const std::string why = Oracle::explain_invalid(values, cfg_.k, cfg_.epsilon, out);
-  TOPKMON_ASSERT_MSG(why.empty(), ("output invalid at t=" + std::to_string(next_t_) +
-                                   " [" + std::string(protocol_->name()) + "]: " + why)
-                                      .c_str());
+  // Dispatch on the protocol's advertised QueryCapabilities: each kind it
+  // serves is checked against its oracle contract. Protocols without
+  // capabilities serve exactly top-k positions, the paper's query.
+  const QueryCapabilities* caps = protocol_->capabilities();
+  const bool topk = serves_topk(*protocol_);
+  if (topk) {
+    const auto& out = protocol_->output();
+    const std::string why = Oracle::explain_invalid(values, cfg_.k, cfg_.epsilon, out);
+    TOPKMON_ASSERT_MSG(why.empty(), ("output invalid at t=" + std::to_string(next_t_) +
+                                     " [" + std::string(protocol_->name()) + "]: " + why)
+                                        .c_str());
+  }
 
   // The filter snapshot is captured lazily — only here, where the validator
   // actually consumes it — and into the reusable arena, not a fresh vector
@@ -219,29 +227,62 @@ void Simulator::validate_strict(const ValueVector& values) {
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     filters[i] = nodes[i].filter();
   }
-  TOPKMON_ASSERT_MSG(
-      filters_valid(std::span<const Filter>(filters.data(), filters.size()), out,
-                    cfg_.epsilon),
-      ("filter set invalid (Obs. 2.2) at t=" + std::to_string(next_t_)).c_str());
+  if (topk) {
+    // Observation 2.2 ties filter validity to the top-k output F(t);
+    // non-top-k kinds state their own filter discipline (quiescence below).
+    TOPKMON_ASSERT_MSG(
+        filters_valid(std::span<const Filter>(filters.data(), filters.size()),
+                      protocol_->output(), cfg_.epsilon),
+        ("filter set invalid (Obs. 2.2) at t=" + std::to_string(next_t_)).c_str());
+  }
   TOPKMON_ASSERT_MSG(
       all_within(std::span<const Filter>(filters.data(), filters.size()),
                  std::span<const Value>(values.data(), values.size())),
       ("protocol left unresolved filter violations at t=" + std::to_string(next_t_))
           .c_str());
 
-  // Protocols that additionally serve k-select (KSelectQueries) must keep
-  // every supported rank's estimate inside the oracle's ε-neighborhood.
-  if (const KSelectQueries* q = as_kselect(*protocol_)) {
-    const std::size_t jmax = std::min(q->kselect_max_rank(), cfg_.k);
+  // Protocols that additionally serve k-select must keep every supported
+  // rank's estimate inside the oracle's ε-neighborhood.
+  if (caps != nullptr && caps->supports(QueryKind::kKSelect)) {
+    const std::size_t jmax = std::min(caps->kselect_max_rank(), cfg_.k);
     for (std::size_t j = 1; j <= jmax; ++j) {
       const std::string bad =
-          Oracle::explain_kselect_invalid(values, j, cfg_.epsilon, q->kselect(j));
+          Oracle::explain_kselect_invalid(values, j, cfg_.epsilon, caps->kselect(j));
       TOPKMON_ASSERT_MSG(
           bad.empty(), ("k-select estimate invalid at t=" + std::to_string(next_t_) +
                         " j=" + std::to_string(j) + " [" +
                         std::string(protocol_->name()) + "]: " + bad)
                            .c_str());
     }
+  }
+
+  if (caps != nullptr && caps->supports(QueryKind::kCountDistinct)) {
+    if (!strict_ladder_ready_) {
+      strict_ladder_.reset(cfg_.epsilon);  // ε is fixed per run; build once
+      strict_ladder_ready_ = true;
+    }
+    const std::uint64_t expect = Oracle::distinct_count(
+        std::span<const Value>(values.data(), values.size()), strict_ladder_);
+    const std::uint64_t got = caps->distinct_count();
+    TOPKMON_ASSERT_MSG(
+        got == expect,
+        ("count-distinct answer wrong at t=" + std::to_string(next_t_) + " [" +
+         std::string(protocol_->name()) + "]: got " + std::to_string(got) +
+         ", oracle says " + std::to_string(expect))
+            .c_str());
+  }
+
+  if (caps != nullptr && caps->supports(QueryKind::kThreshold)) {
+    const std::uint64_t expect = Oracle::count_above(
+        std::span<const Value>(values.data(), values.size()), cfg_.threshold);
+    const std::uint64_t got = caps->above_count();
+    TOPKMON_ASSERT_MSG(
+        got == expect && caps->alert_active() == (expect > 0),
+        ("threshold answer wrong at t=" + std::to_string(next_t_) + " [" +
+         std::string(protocol_->name()) + "]: got " + std::to_string(got) +
+         " above T=" + std::to_string(cfg_.threshold) + ", oracle says " +
+         std::to_string(expect))
+            .c_str());
   }
 }
 

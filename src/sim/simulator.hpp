@@ -23,6 +23,7 @@
 
 #include "faults/injector.hpp"
 #include "faults/schedule.hpp"
+#include "model/band_ladder.hpp"
 #include "model/fleet_state.hpp"
 #include "model/window.hpp"
 #include "sim/context.hpp"
@@ -46,6 +47,11 @@ struct SimConfig {
   std::uint64_t seed = 1;
   bool strict = false;          ///< validate output/filters after every step
   bool record_history = false;  ///< keep the n×T value matrix for offline OPT
+
+  /// Threshold bound T for QueryKind::kThreshold protocols; ignored by
+  /// every other protocol (and by the validator unless the protocol
+  /// advertises the kind).
+  Value threshold = 0;
 
   /// Fault model (src/faults): null = perfectly reliable static fleet. With
   /// a schedule attached the simulator injects churn/straggler effects into
@@ -192,6 +198,8 @@ class Simulator {
   std::vector<ValueVector> history_;
   SigmaFn sigma_hook_;
   ScratchArena strict_arena_;  ///< lazy validator scratch (strict mode only)
+  BandLadder strict_ladder_;   ///< count-distinct oracle ladder (built once; ε fixed)
+  bool strict_ladder_ready_ = false;
   std::size_t max_sigma_ = 0;
   TimeStep next_t_ = 0;
   bool force_recovery_ = false;  ///< one-shot link-reconnect recovery (net)

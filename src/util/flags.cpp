@@ -14,13 +14,19 @@ Flags::Flags(int argc, char** argv) {
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
+    std::string name, value;
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      values_[arg] = "true";
+      name = arg;
+      value = "true";
     }
+    values_[name] = value;
+    all_values_[name].push_back(std::move(value));
   }
 }
 
@@ -51,6 +57,11 @@ std::vector<std::string> Flags::names() const {
   out.reserve(values_.size());
   for (const auto& [name, value] : values_) out.push_back(name);  // map: sorted
   return out;
+}
+
+std::vector<std::string> Flags::get_all(const std::string& name) const {
+  const auto it = all_values_.find(name);
+  return it == all_values_.end() ? std::vector<std::string>{} : it->second;
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {

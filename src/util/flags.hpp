@@ -23,6 +23,11 @@ class Flags {
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
 
+  /// Every value the flag was given, in command-line order — the repeatable
+  /// flag surface (e.g. `--query` once per monitoring query). Scalar getters
+  /// keep last-one-wins semantics. Empty when the flag is absent.
+  std::vector<std::string> get_all(const std::string& name) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
@@ -34,6 +39,7 @@ class Flags {
  private:
   std::string program_;
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> all_values_;  ///< per-flag, in order
   std::vector<std::string> positional_;
 };
 

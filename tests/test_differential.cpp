@@ -9,9 +9,11 @@
 //     the values the fleet actually holds (windowed and faulted);
 //   * filter soundness: the filter set is valid (Obs. 2.2) and quiescent;
 //   * exactness: exact_topk's output IS the exact top-k set;
-//   * k-select validity: protocols serving KSelectQueries (the kselect
+//   * k-select validity: protocols serving QueryKind::kKSelect (the kselect
 //     structure) keep every rank's estimate inside the oracle's
 //     ε-neighborhood, every step;
+//   * count-distinct / threshold exactness: protocols serving the new kinds
+//     report the oracle's exact distinct-band count / above-T count;
 //   * window differential: the windowed run's observed values equal the
 //     naive window maximum over a reference unwindowed run of the same
 //     (seed, stream, faults) — the monotonic-deque pipeline vs O(W)
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "faults/registry.hpp"
 #include "model/oracle.hpp"
 #include "model/window.hpp"
@@ -55,6 +58,7 @@ struct FuzzConfig {
   std::size_t k = 2;
   double epsilon = 0.1;
   std::size_t window = 0;
+  Value threshold = 0;  ///< bound T (drawn for threshold_alert only)
   std::uint64_t seed = 1;
   std::uint64_t fault_seed = 1;
   TimeStep steps = 40;
@@ -72,6 +76,9 @@ std::string reproducer(const FuzzConfig& c) {
       << (c.epsilon > 0.0 ? c.epsilon : 0.1) << " --protocol-eps " << c.epsilon
       << " --window " << c.window << " --seed " << c.seed << " --steps "
       << c.steps << " --strict";
+  if (c.protocol == "threshold_alert") {
+    oss << " --bound " << c.threshold;
+  }
   if (c.faults != "none") {
     oss << " --faults " << c.faults << " --fault-seed " << c.fault_seed;
   }
@@ -100,6 +107,11 @@ FuzzConfig draw(Rng& rng, std::uint64_t tuple_seed) {
   c.k = 1 + rng.below(std::min<std::size_t>(c.n - 1, 5));
   c.epsilon = c.protocol == "exact_topk" ? 0.0 : 0.05 + 0.05 * rng.below(5);
   c.window = windows[rng.below(windows.size())];
+  if (c.protocol == "threshold_alert") {
+    // Somewhere inside the value range (delta = 1 << 20), so both filter
+    // sides stay populated and side flips actually happen.
+    c.threshold = rng.below(std::uint64_t{1} << 20);
+  }
   c.seed = tuple_seed;
   c.fault_seed = splitmix_combine(tuple_seed, 0xFA);
   c.steps = 20 + static_cast<TimeStep>(rng.below(41));  // 20..60
@@ -132,6 +144,7 @@ Simulator make_sim(const FuzzConfig& c, std::size_t window, bool record) {
   cfg.epsilon = c.epsilon;
   cfg.seed = c.seed;
   cfg.window = window;
+  cfg.threshold = c.threshold;
   cfg.record_history = record;
   cfg.faults = schedule_for(c);
   return Simulator(cfg, make_stream(spec_for(c)), make_protocol(c.protocol));
@@ -175,17 +188,21 @@ bool run_config(const FuzzConfig& c) {
       return false;
     }
 
-    // (2) Output validity against the brute-force oracle.
+    // (2) Output validity against the brute-force oracle — top-k servers
+    //     only; other kinds keep output() empty by contract.
+    const bool topk = serves_topk(sim.protocol());
     const OutputSet& out = sim.protocol().output();
-    const std::string why = Oracle::explain_invalid(values, c.k, c.epsilon, out);
-    if (!why.empty()) {
-      ADD_FAILURE() << "invalid output at t=" << t << " [" << c.protocol
-                    << "]: " << why << "\n  repro: " << reproducer(c);
-      return false;
+    if (topk) {
+      const std::string why = Oracle::explain_invalid(values, c.k, c.epsilon, out);
+      if (!why.empty()) {
+        ADD_FAILURE() << "invalid output at t=" << t << " [" << c.protocol
+                      << "]: " << why << "\n  repro: " << reproducer(c);
+        return false;
+      }
     }
 
     // (3) Exact protocols must report the exact top-k set.
-    if (c.epsilon == 0.0 && out != Oracle::top_k(values, c.k)) {
+    if (topk && c.epsilon == 0.0 && out != Oracle::top_k(values, c.k)) {
       ADD_FAILURE() << "exact protocol missed the exact top-k at t=" << t
                     << "\n  repro: " << reproducer(c);
       return false;
@@ -193,7 +210,8 @@ bool run_config(const FuzzConfig& c) {
 
     // (4) K-select estimates (when the protocol serves them) vs the oracle,
     //     for every supported rank.
-    if (const KSelectQueries* q = as_kselect(sim.protocol())) {
+    if (const QueryCapabilities* q =
+            capability_for(sim.protocol(), QueryKind::kKSelect)) {
       const std::size_t jmax = std::min(q->kselect_max_rank(), c.k);
       for (std::size_t j = 1; j <= jmax; ++j) {
         const std::string bad =
@@ -207,14 +225,39 @@ bool run_config(const FuzzConfig& c) {
       }
     }
 
-    // (5) Filter soundness: valid per Obs. 2.2 and quiescent.
+    // (5) Count-distinct / threshold answers must be EXACT vs the oracle.
+    if (const QueryCapabilities* q =
+            capability_for(sim.protocol(), QueryKind::kCountDistinct)) {
+      const std::uint64_t expect = Oracle::distinct_count(
+          std::span<const Value>(values.data(), values.size()), c.epsilon);
+      if (q->distinct_count() != expect) {
+        ADD_FAILURE() << "wrong distinct count at t=" << t << ": got "
+                      << q->distinct_count() << ", oracle says " << expect
+                      << "\n  repro: " << reproducer(c);
+        return false;
+      }
+    }
+    if (const QueryCapabilities* q =
+            capability_for(sim.protocol(), QueryKind::kThreshold)) {
+      const std::uint64_t expect = Oracle::count_above(
+          std::span<const Value>(values.data(), values.size()), c.threshold);
+      if (q->above_count() != expect || q->alert_active() != (expect > 0)) {
+        ADD_FAILURE() << "wrong threshold answer at t=" << t << ": got "
+                      << q->above_count() << " above T=" << c.threshold
+                      << ", oracle says " << expect
+                      << "\n  repro: " << reproducer(c);
+        return false;
+      }
+    }
+
+    // (6) Filter soundness: valid per Obs. 2.2 (top-k servers) and quiescent.
     std::vector<Filter> filters;
     filters.reserve(sim.context().n());
     for (const Node& node : sim.context().nodes()) {
       filters.push_back(node.filter());
     }
     const std::span<const Filter> fspan(filters.data(), filters.size());
-    if (!filters_valid(fspan, out, c.epsilon) ||
+    if ((topk && !filters_valid(fspan, out, c.epsilon)) ||
         !all_within(fspan, std::span<const Value>(values.data(), values.size()))) {
       ADD_FAILURE() << "invalid/violated filter set at t=" << t
                     << "\n  repro: " << reproducer(c);
@@ -258,6 +301,7 @@ bool run_network_config(const FuzzConfig& c, std::uint32_t hosts) {
   spec.seed = c.seed;
   spec.window = c.window;
   spec.steps = c.steps;
+  spec.threshold = c.threshold;
   spec.faults = fault_preset(c.faults);
   spec.faults.horizon = c.steps;
   spec.faults.seed = c.fault_seed;
@@ -285,13 +329,30 @@ bool run_network_config(const FuzzConfig& c, std::uint32_t hosts) {
     ADD_FAILURE() << "networked output diverges\n  repro: " << reproducer(c);
     return false;
   }
-  if (const KSelectQueries* q = as_kselect(sim.protocol())) {
+  if (const QueryCapabilities* q =
+          capability_for(sim.protocol(), QueryKind::kKSelect)) {
     std::vector<Value> expected_est;
     for (std::size_t j = 1; j <= std::min(q->kselect_max_rank(), c.k); ++j) {
       expected_est.push_back(q->kselect(j));
     }
     if (rep.kselect_estimates != expected_est) {
       ADD_FAILURE() << "networked k-select estimates diverge\n  repro: "
+                    << reproducer(c);
+      return false;
+    }
+  }
+  if (const QueryCapabilities* q =
+          capability_for(sim.protocol(), QueryKind::kCountDistinct)) {
+    if (rep.distinct_count != std::optional<std::uint64_t>(q->distinct_count())) {
+      ADD_FAILURE() << "networked distinct count diverges\n  repro: "
+                    << reproducer(c);
+      return false;
+    }
+  }
+  if (const QueryCapabilities* q =
+          capability_for(sim.protocol(), QueryKind::kThreshold)) {
+    if (rep.threshold_above != std::optional<std::uint64_t>(q->above_count())) {
+      ADD_FAILURE() << "networked threshold count diverges\n  repro: "
                     << reproducer(c);
       return false;
     }
@@ -323,6 +384,57 @@ TEST(DifferentialFuzz, NetworkedRuntimeReproducesTheSimulatorBitIdentically) {
                    << " failed (base seed " << base_seed << ", hosts " << hosts
                    << ")";
     }
+  }
+}
+
+/// Mixed-kind engine fuzz: one fleet, a random mix of all four query kinds,
+/// every query in strict mode — each strict validator checks its own kind's
+/// oracle contract (top-k Sect. 2 validity, k-select ε-neighborhood, exact
+/// distinct-band count, exact above-T count) after EVERY step, with shared
+/// probes on and random sliding windows. Any contract violation aborts.
+TEST(DifferentialFuzz, RandomQueryKindMixesUpholdEveryKindsContract) {
+  const std::uint64_t base_seed = env_u64("TOPKMON_FUZZ_SEED", 20260730);
+  const std::uint64_t mixes = env_u64("TOPKMON_FUZZ_MIX_CONFIGS", 40);
+  RecordProperty("fuzz_seed", static_cast<int>(base_seed));
+
+  static const std::vector<std::string> streams{"random_walk", "uniform",
+                                                "oscillating", "zipf_bursty",
+                                                "sine_noise"};
+  static const std::vector<std::size_t> windows{0, 0, 1, 8, 16, 64};
+
+  Rng rng(splitmix_combine(base_seed, 0x317E));
+  for (std::uint64_t i = 0; i < mixes; ++i) {
+    StreamSpec spec;
+    spec.kind = streams[rng.below(streams.size())];
+    spec.n = 6 + rng.below(19);  // 6..24
+    spec.k = 1 + rng.below(std::min<std::size_t>(spec.n - 1, 4));
+    spec.epsilon = 0.05 + 0.05 * rng.below(5);
+    spec.delta = 1 << 20;
+    spec.sigma = spec.n / 2;
+
+    EngineConfig ecfg;
+    ecfg.threads = 1 + rng.below(4);
+    ecfg.seed = splitmix_combine(base_seed, 0x317E0000u + i);
+    ecfg.share_probes = rng.below(2) == 0;
+    MonitoringEngine engine(ecfg, make_stream(spec));
+
+    const std::size_t q_count = 2 + rng.below(7);  // 2..8 queries
+    for (std::size_t q = 0; q < q_count; ++q) {
+      QuerySpec qs;
+      qs.kind = static_cast<QueryKind>(rng.below(kNumQueryKinds));
+      qs.protocol = default_protocol_for(qs.kind);
+      qs.k = 1 + rng.below(std::min<std::size_t>(spec.n - 1, 4));
+      qs.epsilon = 0.05 + 0.05 * rng.below(5);
+      qs.window = windows[rng.below(windows.size())];
+      qs.threshold = rng.below(std::uint64_t{1} << 20);
+      qs.strict = true;
+      engine.add_query(qs);
+    }
+
+    const TimeStep steps = 20 + static_cast<TimeStep>(rng.below(31));
+    const EngineStats stats = engine.run(steps);
+    EXPECT_EQ(stats.steps, static_cast<std::uint64_t>(steps))
+        << "mix " << i << " (base seed " << base_seed << ")";
   }
 }
 

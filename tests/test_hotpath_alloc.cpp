@@ -173,6 +173,41 @@ TEST(HotPathAlloc, EngineQuiescentStepIsAllocFree) {
   EXPECT_EQ(probe.delta(), 0u);
 }
 
+// The multi-function engine keeps the invariant: one fleet serving all four
+// query kinds — top-k, k-select, count-distinct, threshold alerts — still
+// allocates exactly zero times per quiescent step. The two new kinds
+// maintain their answers purely violation-driven (count_distinct's sketch
+// and threshold_alert's above-set only move on reports), so a constant
+// stream leaves them untouched after warmup.
+TEST(HotPathAlloc, MixedKindEngineQuiescentStepIsAllocFree) {
+  SKIP_WITHOUT_ALLOC_HOOK();
+  EngineConfig cfg;
+  cfg.threads = 1;  // inline shards: every allocation lands on this thread
+  cfg.seed = 12;
+  MonitoringEngine engine(cfg,
+                          std::make_unique<ConstStream>(random_values(256, 12)));
+  const QueryKind kinds[] = {QueryKind::kTopK, QueryKind::kKSelect,
+                             QueryKind::kCountDistinct, QueryKind::kThreshold};
+  for (std::size_t q = 0; q < 8; ++q) {
+    QuerySpec spec;
+    spec.kind = kinds[q % 4];
+    spec.protocol = default_protocol_for(spec.kind);
+    spec.k = 2 + q % 3;
+    spec.epsilon = 0.1 + 0.02 * static_cast<double>(q % 4);
+    spec.window = q % 2 == 0 ? kInfiniteWindow : 16;
+    spec.threshold = 150000;  // inside random_values' [100000, 200000) range
+    engine.add_query(spec);
+  }
+  for (int i = 0; i < 40; ++i) {
+    engine.step();
+  }
+  AllocProbe probe;
+  for (int i = 0; i < 200; ++i) {
+    engine.step();
+  }
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
 TEST(HotPathAlloc, EngineWithTelemetryStepIsAllocFree) {
   SKIP_WITHOUT_ALLOC_HOOK();
   EngineConfig cfg;

@@ -212,8 +212,8 @@ TEST(KSelectProperties, OneStepWindowMatchesInstantaneousRun) {
   };
   auto instant = make_sim(kInfiniteWindow);
   auto windowed = make_sim(1);
-  const auto* qi = as_kselect(instant->protocol());
-  const auto* qw = as_kselect(windowed->protocol());
+  const auto* qi = capability_for(instant->protocol(), QueryKind::kKSelect);
+  const auto* qw = capability_for(windowed->protocol(), QueryKind::kKSelect);
   ASSERT_NE(qi, nullptr);
   ASSERT_NE(qw, nullptr);
   for (int t = 0; t < 250; ++t) {
@@ -258,8 +258,8 @@ TEST(KSelectProperties, EngineQueryMatchesStandaloneSimulator) {
   EXPECT_EQ(stats.queries[h].run.messages, serial.messages);
   EXPECT_EQ(stats.queries[h].run.by_tag, serial.by_tag);
   EXPECT_EQ(engine.output(h), sim.protocol().output());
-  const KSelectQueries* eq = engine.kselect(h);
-  const KSelectQueries* sq = as_kselect(sim.protocol());
+  const QueryCapabilities* eq = engine.kselect(h);
+  const QueryCapabilities* sq = capability_for(sim.protocol(), QueryKind::kKSelect);
   ASSERT_NE(eq, nullptr);
   ASSERT_NE(sq, nullptr);
   for (std::size_t j = 1; j <= spec.k; ++j) {
@@ -279,7 +279,7 @@ TEST(KSelectProperties, AllZeroFaultScheduleIsBitIdentical) {
     Simulator sim(cfg, make_stream(spec), make_protocol("kselect"));
     const RunResult run = sim.run(200);
     std::vector<Value> estimates;
-    const KSelectQueries* q = as_kselect(sim.protocol());
+    const QueryCapabilities* q = capability_for(sim.protocol(), QueryKind::kKSelect);
     for (std::size_t j = 1; j <= spec.k; ++j) estimates.push_back(q->kselect(j));
     return std::tuple<StatsSnapshot, OutputSet, std::vector<Value>>(
         run, sim.protocol().output(), std::move(estimates));

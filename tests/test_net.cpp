@@ -45,12 +45,12 @@ RunSpec base_spec() {
   return spec;
 }
 
-/// Final kselect(1..k) of a protocol that serves KSelectQueries; empty
+/// Final kselect(1..k) of a protocol that serves QueryKind::kKSelect; empty
 /// otherwise. Mirrors how InprocNetReport::kselect_estimates is filled.
 std::vector<Value> kselect_estimates_of(const MonitoringProtocol& protocol,
                                         std::size_t k) {
   std::vector<Value> estimates;
-  if (const KSelectQueries* q = as_kselect(protocol)) {
+  if (const QueryCapabilities* q = capability_for(protocol, QueryKind::kKSelect)) {
     for (std::size_t j = 1; j <= std::min(q->kselect_max_rank(), k); ++j) {
       estimates.push_back(q->kselect(j));
     }
